@@ -1,0 +1,40 @@
+// Command evbench regenerates the paper's tables and figures from the
+// simulator. With no flags it runs every experiment; -exp selects one.
+//
+//	evbench                 # run everything
+//	evbench -exp table3     # just the Table 3 reproduction
+//	evbench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+	if *exp != "" {
+		e, ok := bench.Get(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "evbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(1)
+		}
+		fmt.Println(e.Run().String())
+		return
+	}
+	for _, e := range bench.All() {
+		fmt.Println(e.Run().String())
+	}
+}

@@ -1,0 +1,153 @@
+// Command evsim runs a single SUME Event Switch scenario and prints the
+// switch's statistics: a quick way to poke at the simulator from the
+// command line.
+//
+//	evsim -arch event -load 0.9 -size 576 -ms 10
+//	evsim -arch baseline -overspeed 1.0 -load 1.0
+//	evsim -p4 program.up4 -ms 5
+//
+// With -p4, the given µP4 program is compiled and loaded instead of the
+// built-in port-pairing forwarder (ports are paired 0<->1, 2<->3 there).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/p4"
+	"repro/internal/packet"
+	"repro/internal/pisa"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	arch := flag.String("arch", "event", "architecture: event | baseline")
+	load := flag.Float64("load", 0.9, "offered load per port (1.0 = line rate)")
+	size := flag.Int("size", 60, "frame size in bytes (60..1514)")
+	ms := flag.Int("ms", 10, "simulated milliseconds")
+	overspeed := flag.Float64("overspeed", 1.1, "pipeline overspeed factor")
+	ports := flag.Int("ports", 4, "switch ports")
+	rate := flag.Int64("gbps", 10, "per-port line rate in Gb/s")
+	p4file := flag.String("p4", "", "µP4 program to load (default: built-in forwarder)")
+	seed := flag.Uint64("seed", 1, "workload RNG seed")
+	trace := flag.Int("trace", 0, "print the first N pipeline slots")
+	flag.Parse()
+
+	sched := sim.NewScheduler()
+	var a *core.Arch
+	switch *arch {
+	case "event":
+		a = core.EventDriven()
+	case "baseline":
+		a = core.Baseline()
+	default:
+		fmt.Fprintf(os.Stderr, "evsim: unknown arch %q\n", *arch)
+		os.Exit(1)
+	}
+	sw := core.New(core.Config{
+		Name:      "evsim",
+		Ports:     *ports,
+		LineRate:  sim.Rate(*rate) * sim.Gbps,
+		Overspeed: *overspeed,
+	}, a, sched)
+
+	var prog *pisa.Program
+	if *p4file != "" {
+		src, err := os.ReadFile(*p4file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evsim:", err)
+			os.Exit(1)
+		}
+		compiled, err := p4.Compile(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evsim: compile:", err)
+			os.Exit(1)
+		}
+		inst := compiled.Instantiate(*p4file, p4.Options{})
+		prog = inst.Program()
+		fmt.Printf("loaded %s (controls: %v)\n", *p4file, compiled.Controls())
+		for _, h := range compiled.Analyze() {
+			level := "note"
+			if h.Fatal {
+				level = "ERROR"
+			}
+			fmt.Printf("analysis %s: %v\n", level, h)
+		}
+	} else {
+		prog = pisa.NewProgram("forwarder")
+		prog.HandleFunc(events.IngressPacket, func(ctx *pisa.Context) {
+			ctx.EgressPort = ctx.Pkt.InPort ^ 1
+		})
+		if a.Supports(events.BufferEnqueue) {
+			occ := prog.AddRegister(pisa.NewAggregatedRegister("occ", 64,
+				events.BufferEnqueue, events.BufferDequeue))
+			prog.HandleFunc(events.BufferEnqueue, func(ctx *pisa.Context) {
+				occ.Add(ctx, uint32(ctx.Ev.Port), int64(ctx.Ev.PktLen))
+			})
+			prog.HandleFunc(events.BufferDequeue, func(ctx *pisa.Context) {
+				occ.Add(ctx, uint32(ctx.Ev.Port), -int64(ctx.Ev.PktLen))
+			})
+		}
+	}
+	if err := sw.Load(prog); err != nil {
+		fmt.Fprintln(os.Stderr, "evsim:", err)
+		os.Exit(1)
+	}
+	if *trace > 0 {
+		remaining := *trace
+		sw.OnSlot = func(info core.SlotInfo) {
+			if remaining <= 0 {
+				return
+			}
+			remaining--
+			kind := info.PktKind.String()
+			if info.Empty {
+				kind = "EmptyPacket"
+			}
+			fmt.Printf("cycle=%-8d t=%-12v slot=%-18s len=%-5d events=%v\n",
+				info.Cycle, info.At, kind, info.PktLen, info.Events)
+		}
+	}
+
+	horizon := sim.Time(*ms) * sim.Millisecond
+	rng := sim.NewRNG(*seed)
+	for port := 0; port < *ports; port++ {
+		port := port
+		g := workload.NewGen(sched, rng.Split(), func(d []byte) { sw.Inject(port, d) })
+		fl := packet.Flow{
+			Src: packet.IP4(10, byte(port), 0, 1), Dst: packet.IP4(10, byte(port^1), 0, 1),
+			SrcPort: uint16(1000 + port), DstPort: 80, Proto: packet.ProtoUDP,
+		}
+		g.StartSaturate(workload.SaturateConfig{
+			Flow: fl, Rate: sim.Rate(*rate) * sim.Gbps, Load: *load, Size: *size, Until: horizon,
+		})
+	}
+	sched.Run(horizon + 2*sim.Millisecond)
+
+	st := sw.Stats()
+	fmt.Printf("arch=%s cycleTime=%v horizon=%v\n", a.Name, sw.CycleTime(), horizon)
+	fmt.Printf("rx=%d tx=%d (%.2f%% delivered) drops: pipeline=%d linkDown=%d\n",
+		st.RxPackets, st.TxPackets,
+		100*float64(st.TxPackets)/float64(max64(st.RxPackets, 1)),
+		st.PipelineDrops, st.TxDroppedLinkDown)
+	fmt.Printf("cycles=%d packetSlots=%d emptySlots=%d drainSlots=%d recirc=%d generated=%d\n",
+		st.Cycles, st.PacketSlots, st.EmptySlots, st.DrainSlots, st.Recirculated, st.Generated)
+	for k := 0; k < events.NumKinds; k++ {
+		kind := events.Kind(k)
+		if st.EventsMerged[k] > 0 || st.EventsDropped[k] > 0 {
+			fmt.Printf("  event %-22s merged=%-10d fifoDrops=%d\n",
+				kind, st.EventsMerged[k], st.EventsDropped[k])
+		}
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,15 @@
+// Package repro is a complete Go reproduction of "Event-Driven Packet
+// Processing" (Ibanez, Antichi, Brebner, McKeown — HotNets 2019).
+//
+// The module's only importable surface lives under internal/ (this is a
+// research artifact, not a library to depend on); the entry points are:
+//
+//   - cmd/evbench — regenerate every table and figure of the paper
+//   - cmd/evsim — run ad-hoc switch scenarios, including µP4 programs
+//   - examples/ — eight runnable walkthroughs of the public API
+//   - bench_test.go (this package) — the same experiments as benchmarks
+//
+// Start with README.md for orientation, DESIGN.md for the system
+// inventory and experiment index, EXPERIMENTS.md for paper-vs-measured
+// results, and internal/p4/LANGUAGE.md for the µP4 language.
+package repro

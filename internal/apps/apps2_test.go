@@ -1,0 +1,166 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestTelemetrySuppressesQuietIntervals(t *testing.T) {
+	sched := sim.NewScheduler()
+	sw := core.New(core.Config{}, core.EventDriven(), sched)
+	tl, prog := NewTelemetry(TelemetryConfig{
+		SwitchID: 7, EgressPort: 1, ReportPort: 3,
+	})
+	sw.MustLoad(prog)
+	if err := tl.Arm(sw, sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	var reports []packet.Report
+	sw.OnTransmit = func(port int, pkt *packet.Packet) {
+		if port != 3 {
+			return
+		}
+		var p packet.Parser
+		var dec []packet.LayerType
+		if p.Decode(pkt.Data, &dec) == nil && len(dec) == 2 && dec[1] == packet.LayerReport {
+			reports = append(reports, p.Report)
+		}
+	}
+	// Steady light traffic for 40ms, with one 10x surge at 20-22ms.
+	rng := sim.NewRNG(1)
+	fl := flowN(1)
+	base := workload.NewGen(sched, rng.Split(), func(d []byte) { sw.Inject(0, d) })
+	base.StartCBR(workload.CBRConfig{Flow: fl, Size: workload.FixedSize(1000),
+		Rate: 80 * sim.Mbps, Until: 40 * sim.Millisecond})
+	surge := workload.NewGen(sched, rng.Split(), func(d []byte) { sw.Inject(2, d) })
+	sched.At(20*sim.Millisecond, func() {
+		surge.StartCBR(workload.CBRConfig{Flow: flowN(2), Size: workload.FixedSize(1000),
+			Rate: 800 * sim.Mbps, Until: 22 * sim.Millisecond})
+	})
+	sched.Run(42 * sim.Millisecond)
+
+	if tl.Reports == 0 {
+		t.Fatal("surge not reported")
+	}
+	if tl.Suppressed < 30 {
+		t.Errorf("suppressed = %d of %d intervals; the filter is not reducing",
+			tl.Suppressed, tl.Intervals)
+	}
+	if tl.ReductionRatio() < 5 {
+		t.Errorf("reduction ratio = %.1f, want >= 5x", tl.ReductionRatio())
+	}
+	// Reports must coincide with the surge window.
+	for _, r := range reports {
+		if r.Kind != packet.ReportAnomaly {
+			t.Errorf("report kind = %d", r.Kind)
+		}
+	}
+}
+
+func TestREDDropRampUnderCongestion(t *testing.T) {
+	sched := sim.NewScheduler()
+	sw := core.New(core.Config{QueueCapBytes: 1 << 20}, core.EventDriven(), sched)
+	red, prog := NewRED(REDConfig{
+		MinThresh: 15000, MaxThresh: 45000, MaxP256: 128, EgressPort: 1,
+	}, sim.NewRNG(5))
+	sw.MustLoad(prog)
+	// Uncongested phase: 2 Gb/s into 10G — no drops.
+	rng := sim.NewRNG(2)
+	g1 := workload.NewGen(sched, rng.Split(), func(d []byte) { sw.Inject(0, d) })
+	g1.StartCBR(workload.CBRConfig{Flow: flowN(1), Size: workload.FixedSize(1500),
+		Rate: 2 * sim.Gbps, Until: 10 * sim.Millisecond})
+	sched.Run(11 * sim.Millisecond)
+	if red.Dropped != 0 {
+		t.Fatalf("dropped %d packets without congestion", red.Dropped)
+	}
+	passedBefore := red.Passed
+
+	// Congested phase: 14 Gb/s from two ports into 10G.
+	g2 := workload.NewGen(sched, rng.Split(), func(d []byte) { sw.Inject(0, d) })
+	g2.StartCBR(workload.CBRConfig{Flow: flowN(1), Size: workload.FixedSize(1500),
+		Rate: 7 * sim.Gbps, Until: 31 * sim.Millisecond})
+	g3 := workload.NewGen(sched, rng.Split(), func(d []byte) { sw.Inject(2, d) })
+	g3.StartCBR(workload.CBRConfig{Flow: flowN(2), Size: workload.FixedSize(1500),
+		Rate: 7 * sim.Gbps, Until: 31 * sim.Millisecond})
+	sched.Run(35 * sim.Millisecond)
+
+	if red.Dropped == 0 {
+		t.Fatal("no RED drops under sustained 1.4x overload")
+	}
+	if red.Passed == passedBefore {
+		t.Fatal("RED dropped everything")
+	}
+	if red.AvgOccupancy() == 0 && red.MarkedAvgPeak < 15000 {
+		t.Errorf("avg occupancy signal never crossed min threshold: peak=%d", red.MarkedAvgPeak)
+	}
+}
+
+func TestStateMigrationOnFailover(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := netsim.New(sched)
+
+	// src host -> m (migrator) -> primary: s2(port0) / backup: s3(port0)
+	// -> both forward to their port 3 sinks; s3 is the migrate target.
+	m, mprog := NewMigrator(MigratorConfig{SwitchID: 1, Slots: 256, Primary: 1, Backup: 2})
+	msw := core.New(core.Config{Name: "m"}, core.EventDriven(), sched)
+	msw.MustLoad(mprog)
+	tgt, tprog := NewMigrateTarget(MigrateTargetConfig{SwitchID: 3, Slots: 256, EgressPort: 3})
+	tsw := core.New(core.Config{Name: "tgt"}, core.EventDriven(), sched)
+	tsw.MustLoad(tprog)
+	psw := core.New(core.Config{Name: "prim"}, core.EventDriven(), sched)
+	psw.MustLoad(EchoResponder(2, 3)) // simple forwarder to its sink
+
+	net.AddSwitch(msw)
+	net.AddSwitch(tsw)
+	net.AddSwitch(psw)
+	src := net.NewHost("src", packet.IP4(10, 0, 0, 1))
+	net.Attach(src, msw, 0, 0)
+	primary := net.Connect(msw, 1, psw, 0, 10*sim.Microsecond)
+	net.Connect(msw, 2, tsw, 0, 10*sim.Microsecond)
+	sinkP := net.NewHost("sinkP", packet.IP4(10, 1, 0, 1))
+	net.Attach(sinkP, psw, 3, 0)
+	sinkB := net.NewHost("sinkB", packet.IP4(10, 1, 0, 1))
+	net.Attach(sinkB, tsw, 3, 0)
+
+	// Two flows send through the primary path for 10ms.
+	fl1, fl2 := flowN(1), flowN(2)
+	g := workload.NewGen(sched, sim.NewRNG(3), func(d []byte) { src.Send(d) })
+	g.StartCBR(workload.CBRConfig{Flow: fl1, Size: workload.FixedSize(1000),
+		Rate: 800 * sim.Mbps, Until: 20 * sim.Millisecond})
+	g2 := workload.NewGen(sched, sim.NewRNG(4), func(d []byte) { src.Send(d) })
+	g2.StartCBR(workload.CBRConfig{Flow: fl2, Size: workload.FixedSize(500),
+		Rate: 400 * sim.Mbps, Until: 20 * sim.Millisecond})
+
+	sched.At(10*sim.Millisecond, func() { net.Fail(primary) })
+	sched.Run(25 * sim.Millisecond)
+
+	if m.Failovers != 1 {
+		t.Fatalf("failovers = %d", m.Failovers)
+	}
+	if m.Migrated == 0 || tgt.Installed != m.Migrated {
+		t.Fatalf("migrated=%d installed=%d", m.Migrated, tgt.Installed)
+	}
+	// The target's per-flow counters must equal the migrator's full
+	// count (pre-failure state transferred + post-failure bytes counted
+	// locally).
+	for _, fl := range []packet.Flow{fl1, fl2} {
+		slot := uint32(fl.Hash() % 256)
+		mv := m.State().True(slot)
+		tv := tgt.State().True(slot)
+		if tv != mv {
+			t.Errorf("flow slot %d: target state %d != migrator state %d", slot, tv, mv)
+		}
+		if tv == 0 {
+			t.Errorf("flow slot %d: no state at target", slot)
+		}
+	}
+	// Traffic kept flowing to the backup sink after failover.
+	if sinkB.RxPackets == 0 {
+		t.Error("no packets delivered via backup after failover")
+	}
+}

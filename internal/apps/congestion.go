@@ -1,0 +1,130 @@
+package apps
+
+import (
+	"repro/internal/events"
+	"repro/internal/packet"
+	"repro/internal/pisa"
+)
+
+// ECNMarkConfig parameterizes multi-bit congestion marking (paper §3:
+// "variants of ECN marking, with packets carrying multiple bits rather
+// than just one, to communicate queue occupancy along the path, or just
+// the maximum queue occupancy at the bottleneck").
+type ECNMarkConfig struct {
+	// EgressPort forwards data traffic.
+	EgressPort int
+	// QuantumBytes maps occupancy to the mark value: mark =
+	// min(occupancy/QuantumBytes, 255). A receiver reads the mark as a
+	// congestion level.
+	QuantumBytes int
+}
+
+// ECNMark stamps each departing packet's TOS byte with the *maximum* of
+// its current value and this switch's quantized egress-queue occupancy,
+// so a packet crossing several switches arrives carrying the bottleneck's
+// occupancy. Occupancy comes from enqueue/dequeue events.
+type ECNMark struct {
+	cfg ECNMarkConfig
+	occ *pisa.SharedRegister
+
+	Marked uint64
+}
+
+// NewECNMark builds the marker and its program.
+func NewECNMark(cfg ECNMarkConfig) (*ECNMark, *pisa.Program) {
+	if cfg.QuantumBytes <= 0 {
+		cfg.QuantumBytes = 4096
+	}
+	m := &ECNMark{cfg: cfg}
+	p := pisa.NewProgram("ecn-multibit")
+	m.occ = p.AddRegister(pisa.NewAggregatedRegister("occ", 8,
+		events.BufferEnqueue, events.BufferDequeue))
+
+	p.HandleFunc(events.IngressPacket, func(ctx *pisa.Context) {
+		ctx.EgressPort = cfg.EgressPort
+		if !ctx.Has(packet.LayerIPv4) {
+			return
+		}
+		// Read the egress queue's occupancy and fold it into the mark.
+		occ := m.occ.Read(ctx, uint32(cfg.EgressPort))
+		level := occ / uint64(cfg.QuantumBytes)
+		if level > 255 {
+			level = 255
+		}
+		if uint8(level) > ctx.TOS() {
+			ctx.SetTOS(uint8(level))
+			m.Marked++
+		}
+	})
+	p.HandleFunc(events.BufferEnqueue, func(ctx *pisa.Context) {
+		m.occ.Add(ctx, uint32(ctx.Ev.Port), int64(ctx.Ev.PktLen))
+	})
+	p.HandleFunc(events.BufferDequeue, func(ctx *pisa.Context) {
+		m.occ.Add(ctx, uint32(ctx.Ev.Port), -int64(ctx.Ev.PktLen))
+	})
+	return m, p
+}
+
+// NDPConfig parameterizes NDP-style priority forwarding (paper §3:
+// congestion signals "used in the ingress pipeline to make priority
+// forwarding decisions, as in NDP").
+type NDPConfig struct {
+	EgressPort int
+	// TrimAboveBytes: when the egress occupancy exceeds this, the
+	// payload is trimmed and the header-only packet jumps to the
+	// priority queue instead of being dropped.
+	TrimAboveBytes int
+}
+
+// NDP implements the receiver-driven transport's switch-side trick: under
+// congestion, instead of dropping, trim packets to their headers and
+// forward the headers at high priority so receivers learn what was sent.
+// Queue 0 is the strict-priority header queue; queue 1 carries payloads.
+type NDP struct {
+	cfg NDPConfig
+	occ *pisa.SharedRegister
+
+	Trimmed   uint64
+	FullSized uint64
+}
+
+// NewNDP builds the trimmer and its program. Load it on a switch
+// configured with 2 queues per port and strict-priority scheduling.
+func NewNDP(cfg NDPConfig) (*NDP, *pisa.Program) {
+	if cfg.TrimAboveBytes <= 0 {
+		cfg.TrimAboveBytes = 30000
+	}
+	n := &NDP{cfg: cfg}
+	p := pisa.NewProgram("ndp-trim")
+	n.occ = p.AddRegister(pisa.NewAggregatedRegister("occ", 8,
+		events.BufferEnqueue, events.BufferDequeue))
+
+	p.HandleFunc(events.IngressPacket, func(ctx *pisa.Context) {
+		ctx.EgressPort = cfg.EgressPort
+		if !ctx.Has(packet.LayerIPv4) {
+			ctx.Queue = 0
+			return
+		}
+		occ := n.occ.Read(ctx, uint32(cfg.EgressPort))
+		if occ > uint64(cfg.TrimAboveBytes) && ctx.Trim() {
+			n.Trimmed++
+			ctx.Queue = 0 // header queue: strict priority
+			return
+		}
+		n.FullSized++
+		ctx.Queue = 1
+	})
+	p.HandleFunc(events.BufferEnqueue, func(ctx *pisa.Context) {
+		// Track only the payload queue: header packets are tiny and the
+		// trimming decision concerns payload backlog.
+		if ctx.Ev.Queue == 1 {
+			n.occ.Add(ctx, uint32(ctx.Ev.Port), int64(ctx.Ev.PktLen))
+		}
+	})
+	p.HandleFunc(events.BufferDequeue, func(ctx *pisa.Context) {
+		if ctx.Ev.Queue == 1 {
+			n.occ.Add(ctx, uint32(ctx.Ev.Port), -int64(ctx.Ev.PktLen))
+		}
+	})
+	return n, p
+}

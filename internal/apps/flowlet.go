@@ -1,0 +1,102 @@
+package apps
+
+import (
+	"repro/internal/events"
+	"repro/internal/pisa"
+	"repro/internal/sim"
+)
+
+// FlowletConfig parameterizes CONGA-style flowlet load balancing
+// (Table 2 cites CONGA under Load Balancing: congestion-aware balancing
+// at flowlet granularity, so packets inside a burst keep their path and
+// no intra-flowlet reordering occurs).
+type FlowletConfig struct {
+	// UplinkPorts are the candidate next hops.
+	UplinkPorts []int
+	// Gap is the inter-packet gap that opens a new flowlet: bigger than
+	// the path-delay difference, so re-routing between flowlets cannot
+	// reorder.
+	Gap sim.Time
+	// Slots sizes the flowlet table.
+	Slots int
+}
+
+// Flowlet balances flows across uplinks at flowlet granularity, choosing
+// the uplink with the least event-derived queue occupancy when a new
+// flowlet starts. The flowlet table (last-seen time + assigned port per
+// flow slot) is packet-thread state; the occupancy register is shared
+// with the enqueue/dequeue event threads — the combination only an
+// event-driven architecture provides in the data plane.
+type Flowlet struct {
+	cfg      FlowletConfig
+	occ      *pisa.SharedRegister
+	lastSeen []sim.Time
+	port     []int8
+
+	// Flowlets counts flowlet starts; Moved counts flowlets that picked
+	// a different uplink than their flow's previous one.
+	Flowlets uint64
+	Moved    uint64
+}
+
+// NewFlowlet builds the balancer and its program.
+func NewFlowlet(cfg FlowletConfig) (*Flowlet, *pisa.Program) {
+	if len(cfg.UplinkPorts) == 0 {
+		panic("apps: Flowlet needs uplinks")
+	}
+	if cfg.Gap <= 0 {
+		cfg.Gap = 100 * sim.Microsecond
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 4096
+	}
+	f := &Flowlet{
+		cfg:      cfg,
+		lastSeen: make([]sim.Time, cfg.Slots),
+		port:     make([]int8, cfg.Slots),
+	}
+	for i := range f.port {
+		f.port[i] = -1
+	}
+	p := pisa.NewProgram("flowlet")
+	f.occ = p.AddRegister(pisa.NewAggregatedRegister("uplinkOcc", 8,
+		events.BufferEnqueue, events.BufferDequeue))
+
+	p.HandleFunc(events.IngressPacket, func(ctx *pisa.Context) {
+		if !ctx.FlowOK {
+			ctx.Drop()
+			return
+		}
+		slot := ctx.Ev.FlowHash % uint64(cfg.Slots)
+		now := ctx.Now
+		cur := f.port[slot]
+		if cur >= 0 && now-f.lastSeen[slot] < cfg.Gap {
+			// Same flowlet: stick to the assigned path.
+			f.lastSeen[slot] = now
+			ctx.EgressPort = int(cur)
+			return
+		}
+		// New flowlet: pick the least-occupied uplink.
+		best := cfg.UplinkPorts[0]
+		bestOcc := f.occ.Read(ctx, uint32(best))
+		for _, port := range cfg.UplinkPorts[1:] {
+			if occ := f.occ.Read(ctx, uint32(port)); occ < bestOcc {
+				best, bestOcc = port, occ
+			}
+		}
+		f.Flowlets++
+		if cur >= 0 && int(cur) != best {
+			f.Moved++
+		}
+		f.port[slot] = int8(best)
+		f.lastSeen[slot] = now
+		ctx.EgressPort = best
+	})
+	p.HandleFunc(events.BufferEnqueue, func(ctx *pisa.Context) {
+		f.occ.Add(ctx, uint32(ctx.Ev.Port), int64(ctx.Ev.PktLen))
+	})
+	p.HandleFunc(events.BufferDequeue, func(ctx *pisa.Context) {
+		f.occ.Add(ctx, uint32(ctx.Ev.Port), -int64(ctx.Ev.PktLen))
+	})
+	return f, p
+}

@@ -1,0 +1,115 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestFlowletSticksWithinFlowlet(t *testing.T) {
+	sched := sim.NewScheduler()
+	sw := core.New(core.Config{}, core.EventDriven(), sched)
+	f, prog := NewFlowlet(FlowletConfig{
+		UplinkPorts: []int{1, 2}, Gap: 100 * sim.Microsecond,
+	})
+	sw.MustLoad(prog)
+	var ports []int
+	sw.OnTransmit = func(p int, _ *packet.Packet) { ports = append(ports, p) }
+
+	fl := flowN(1)
+	// Burst of 10 packets 1us apart (one flowlet), a 500us pause, then
+	// another burst.
+	for i := 0; i < 10; i++ {
+		at := sim.Time(i) * sim.Microsecond
+		sched.At(at, func() { sw.Inject(0, frameFor(fl, 200)) })
+	}
+	for i := 0; i < 10; i++ {
+		at := 600*sim.Microsecond + sim.Time(i)*sim.Microsecond
+		sched.At(at, func() { sw.Inject(0, frameFor(fl, 200)) })
+	}
+	sched.Run(5 * sim.Millisecond)
+
+	if len(ports) != 20 {
+		t.Fatalf("tx = %d", len(ports))
+	}
+	// Within each burst, the path must not change.
+	for i := 1; i < 10; i++ {
+		if ports[i] != ports[0] {
+			t.Fatalf("first flowlet changed path at %d: %v", i, ports[:10])
+		}
+		if ports[10+i] != ports[10] {
+			t.Fatalf("second flowlet changed path at %d: %v", i, ports[10:])
+		}
+	}
+	if f.Flowlets != 2 {
+		t.Errorf("flowlets = %d, want 2", f.Flowlets)
+	}
+}
+
+func TestFlowletSteersAwayFromCongestedUplink(t *testing.T) {
+	// Congest one uplink with a hog flow, then start a new flow: its
+	// first flowlet must be assigned the other (empty) uplink.
+	sched := sim.NewScheduler()
+	net := netsim.New(sched)
+	sw := core.New(core.Config{Ports: 5, QueueCapBytes: 1 << 20}, core.EventDriven(), sched)
+	f, prog := NewFlowlet(FlowletConfig{
+		UplinkPorts: []int{1, 2}, Gap: 50 * sim.Microsecond,
+	})
+	sw.MustLoad(prog)
+	net.AddSwitch(sw)
+	u1 := net.NewHost("u1", packet.IP4(9, 0, 0, 1))
+	u2 := net.NewHost("u2", packet.IP4(9, 0, 0, 2))
+	srcH := net.NewHost("src", packet.IP4(9, 0, 0, 3))
+	crossH := net.NewHost("cross", packet.IP4(9, 0, 0, 4))
+	crossH2 := net.NewHost("cross2", packet.IP4(9, 0, 0, 5))
+	net.Attach(u1, sw, 1, 0)
+	net.Attach(u2, sw, 2, 0)
+	net.Attach(srcH, sw, 0, 0)
+	net.Attach(crossH, sw, 3, 0)
+	net.Attach(crossH2, sw, 4, 0)
+
+	hog := flowN(7)
+	probe := flowN(8)
+	hogHash, probeHash := hog.Hash(), probe.Hash()
+	hogPort, probePort := -1, -1
+	net.TapTransmit(sw, func(port int, data []byte) {
+		fl, ok := packet.FlowOf(data)
+		if !ok {
+			return
+		}
+		switch fl.Hash() {
+		case hogHash:
+			hogPort = port
+		case probeHash:
+			probePort = port
+		}
+	})
+
+	// The hog flow arrives from two hosts at 12 Gb/s combined,
+	// oversubscribing whichever uplink its first flowlet picked (the
+	// packets arrive interleaved at well under the flowlet gap, so they
+	// stay one flowlet).
+	g := workload.NewGen(sched, sim.NewRNG(1), func(d []byte) { crossH.Send(d) })
+	g.StartCBR(workload.CBRConfig{Flow: hog, Size: workload.FixedSize(1500),
+		Rate: 6 * sim.Gbps, Until: 10 * sim.Millisecond})
+	g2 := workload.NewGen(sched, sim.NewRNG(2), func(d []byte) { crossH2.Send(d) })
+	g2.StartCBR(workload.CBRConfig{Flow: hog, Size: workload.FixedSize(1500),
+		Rate: 6 * sim.Gbps, Until: 10 * sim.Millisecond})
+	// A new flow starts at 5ms, well into the congestion.
+	sched.At(5*sim.Millisecond, func() { srcH.Send(frameFor(probe, 200)) })
+	sched.Run(12 * sim.Millisecond)
+
+	if hogPort < 0 || probePort < 0 {
+		t.Fatalf("hogPort=%d probePort=%d", hogPort, probePort)
+	}
+	if probePort == hogPort {
+		t.Errorf("new flowlet joined the congested uplink %d", hogPort)
+	}
+	if f.Flowlets < 2 {
+		t.Errorf("flowlets = %d", f.Flowlets)
+	}
+}

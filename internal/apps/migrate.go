@@ -1,0 +1,155 @@
+package apps
+
+import (
+	"repro/internal/events"
+	"repro/internal/packet"
+	"repro/internal/pisa"
+)
+
+// Swing-state-style data-plane state migration (paper §3 Network
+// Management, citing Luo et al.'s swing state: "the data plane can
+// immediately respond to link failures, autonomously re-route affected
+// flows and migrate data-plane state from a flow's old path to its new
+// one").
+//
+// A Migrator owns per-flow state (here: per-flow byte counters kept by
+// the ingress pipeline). When the primary link toward a destination
+// fails, the LinkStatusChange handler re-routes — and simultaneously
+// streams the affected flows' state to the backup-path switch as
+// generated state-transfer packets, which the receiving switch's data
+// plane installs into its own register. No control plane touches either
+// switch.
+//
+// Wire format: state-transfer frames ride the Report protocol with
+// Kind=ReportStateXfer, V0=state value, V1=flow slot.
+
+// ReportStateXfer is the report kind carrying a state-transfer record.
+const ReportStateXfer uint8 = 99
+
+// MigratorConfig parameterizes the migrating switch.
+type MigratorConfig struct {
+	SwitchID uint32
+	// Slots sizes the per-flow state register.
+	Slots int
+	// Primary and Backup are output ports toward the destination.
+	Primary, Backup int
+}
+
+// Migrator is the source side: it counts per-flow bytes, fails over on
+// link events, and streams state to the backup path.
+type Migrator struct {
+	cfg     MigratorConfig
+	state   *pisa.SharedRegister
+	primUp  bool
+	touched map[uint32]bool // flow slots with nonzero state
+
+	// Migrated counts state records streamed to the backup switch.
+	Migrated  uint64
+	Failovers uint64
+}
+
+// NewMigrator builds the source-side program.
+func NewMigrator(cfg MigratorConfig) (*Migrator, *pisa.Program) {
+	if cfg.Slots <= 0 {
+		cfg.Slots = 256
+	}
+	m := &Migrator{cfg: cfg, primUp: true, touched: make(map[uint32]bool)}
+	p := pisa.NewProgram("migrator")
+	m.state = p.AddRegister(pisa.NewAggregatedRegister("flowBytes", cfg.Slots))
+
+	p.HandleFunc(events.IngressPacket, func(ctx *pisa.Context) {
+		if !ctx.FlowOK {
+			ctx.Drop()
+			return
+		}
+		slot := uint32(ctx.Ev.FlowHash % uint64(cfg.Slots))
+		m.state.Add(ctx, slot, int64(ctx.Pkt.Len()))
+		m.touched[slot] = true
+		if m.primUp {
+			ctx.EgressPort = cfg.Primary
+		} else {
+			ctx.EgressPort = cfg.Backup
+		}
+	})
+	p.HandleFunc(events.LinkStatusChange, func(ctx *pisa.Context) {
+		if ctx.Ev.Port != cfg.Primary {
+			return
+		}
+		wasUp := m.primUp
+		m.primUp = ctx.Ev.Up
+		if wasUp && !ctx.Ev.Up {
+			m.Failovers++
+			// Stream every touched flow's state down the backup path.
+			for slot := range m.touched {
+				v := m.state.Read(ctx, slot)
+				if v == 0 {
+					continue
+				}
+				m.Migrated++
+				rep := &packet.Report{
+					Kind:   ReportStateXfer,
+					Switch: cfg.SwitchID,
+					V0:     v,
+					V1:     slot,
+				}
+				ctx.Emit(packet.BuildControlFrame(packet.Broadcast,
+					packet.MACFromUint64(uint64(cfg.SwitchID)), rep), cfg.Backup)
+			}
+		}
+	})
+	return m, p
+}
+
+// State exposes the per-flow register.
+func (m *Migrator) State() *pisa.SharedRegister { return m.state }
+
+// MigrateTargetConfig parameterizes the backup-path switch.
+type MigrateTargetConfig struct {
+	SwitchID uint32
+	Slots    int
+	// EgressPort forwards data traffic onward.
+	EgressPort int
+}
+
+// MigrateTarget is the backup-path switch: it installs received state
+// records into its own register and keeps counting arriving flows'
+// bytes, so the combined count is seamless across the migration.
+type MigrateTarget struct {
+	cfg   MigrateTargetConfig
+	state *pisa.SharedRegister
+
+	// Installed counts state records absorbed.
+	Installed uint64
+}
+
+// NewMigrateTarget builds the target-side program.
+func NewMigrateTarget(cfg MigrateTargetConfig) (*MigrateTarget, *pisa.Program) {
+	if cfg.Slots <= 0 {
+		cfg.Slots = 256
+	}
+	tgt := &MigrateTarget{cfg: cfg}
+	p := pisa.NewProgram("migrate-target")
+	tgt.state = p.AddRegister(pisa.NewAggregatedRegister("flowBytes", cfg.Slots))
+
+	p.HandleFunc(events.IngressPacket, func(ctx *pisa.Context) {
+		if packet.EtherTypeOf(ctx.Pkt.Data) == packet.EtherTypeReport &&
+			ctx.Has(packet.LayerReport) && ctx.Parsed.Report.Kind == ReportStateXfer {
+			rep := ctx.Parsed.Report
+			tgt.Installed++
+			tgt.state.Add(ctx, rep.V1%uint32(cfg.Slots), int64(rep.V0))
+			ctx.Drop()
+			return
+		}
+		if !ctx.FlowOK {
+			ctx.Drop()
+			return
+		}
+		slot := uint32(ctx.Ev.FlowHash % uint64(cfg.Slots))
+		tgt.state.Add(ctx, slot, int64(ctx.Pkt.Len()))
+		ctx.EgressPort = cfg.EgressPort
+	})
+	return tgt, p
+}
+
+// State exposes the target's per-flow register.
+func (t *MigrateTarget) State() *pisa.SharedRegister { return t.state }

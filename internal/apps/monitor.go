@@ -1,0 +1,160 @@
+package apps
+
+import (
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/pisa"
+	"repro/internal/sim"
+	"repro/internal/sketch"
+)
+
+// CMSApp is a count-min-sketch heavy-hitter monitor with periodic reset,
+// in both designs of paper §1:
+//
+//   - Event-driven: a timer event resets the sketch in the data plane.
+//     Zero control messages; jitter bounded by one pipeline slot.
+//   - Baseline: the control plane must issue the reset over its channel,
+//     costing messages and suffering software latency and jitter.
+type CMSApp struct {
+	CMS *sketch.CMS
+
+	// ResetTimes records when each reset actually took effect.
+	ResetTimes []sim.Time
+	// Intended records when each reset was supposed to happen.
+	Intended []sim.Time
+}
+
+// NewCMSEventDriven builds the timer-driven variant: load the program,
+// then call Arm to configure the switch timer.
+func NewCMSEventDriven(rows, width, egress int) (*CMSApp, *pisa.Program) {
+	app := &CMSApp{CMS: sketch.NewCMS(rows, width)}
+	p := pisa.NewProgram("cms-timer")
+	p.HandleFunc(events.IngressPacket, func(ctx *pisa.Context) {
+		ctx.EgressPort = egress
+		if ctx.FlowOK {
+			app.CMS.Update(ctx.Ev.FlowHash, uint64(ctx.Pkt.Len()))
+		}
+	})
+	p.HandleFunc(events.TimerExpiration, func(ctx *pisa.Context) {
+		app.CMS.Reset()
+		app.ResetTimes = append(app.ResetTimes, ctx.Now)
+		app.Intended = append(app.Intended, ctx.Ev.When)
+	})
+	return app, p
+}
+
+// Arm configures timer 0 on the switch with the reset period.
+func (app *CMSApp) Arm(sw *core.Switch, period sim.Time) error {
+	return sw.ConfigureTimer(0, period)
+}
+
+// NewCMSBaseline builds the baseline variant: the sketch updates from
+// packet events, and resets arrive through the control plane. Call
+// StartBaselineResets to begin the periodic resets.
+func NewCMSBaseline(rows, width, egress int) (*CMSApp, *pisa.Program) {
+	app := &CMSApp{CMS: sketch.NewCMS(rows, width)}
+	p := pisa.NewProgram("cms-controlplane")
+	p.HandleFunc(events.IngressPacket, func(ctx *pisa.Context) {
+		ctx.EgressPort = egress
+		if ctx.FlowOK {
+			app.CMS.Update(ctx.Ev.FlowHash, uint64(ctx.Pkt.Len()))
+		}
+	})
+	return app, p
+}
+
+// StartBaselineResets drives periodic resets through the control plane
+// and records the intended vs actual reset instants.
+func (app *CMSApp) StartBaselineResets(sched *sim.Scheduler, agent *controlplane.Agent, period sim.Time) *sim.Ticker {
+	return sched.Every(period, func() {
+		intended := sched.Now()
+		agent.Do(app.CMS.ResetCost(), func() {
+			app.CMS.Reset()
+			app.ResetTimes = append(app.ResetTimes, sched.Now())
+			app.Intended = append(app.Intended, intended)
+		})
+	})
+}
+
+// ResetJitter summarizes |actual - intended| over all recorded resets.
+func (app *CMSApp) ResetJitter() *sim.Stats {
+	st := sim.NewStats()
+	for i := range app.ResetTimes {
+		d := app.ResetTimes[i] - app.Intended[i]
+		if d < 0 {
+			d = -d
+		}
+		st.AddTime(d)
+	}
+	return st
+}
+
+// FlowRateConfig parameterizes the time-windowed flow-rate monitor
+// (paper §5: "one student group demonstrated how to use timer events in
+// conjunction with a simple shift register to accurately measure flow
+// rates in the data plane").
+type FlowRateConfig struct {
+	Slots      int // per-flow slots
+	Buckets    int // shift-register depth
+	EgressPort int
+}
+
+// FlowRate measures per-flow byte rates over a sliding window: packet
+// events accumulate into the head bucket of the flow's shift register and
+// a timer event shifts all registers.
+type FlowRate struct {
+	cfg     FlowRateConfig
+	windows []*sketch.WindowRate
+	period  sim.Time
+	Shifts  uint64
+}
+
+// NewFlowRate builds the monitor.
+func NewFlowRate(cfg FlowRateConfig) (*FlowRate, *pisa.Program) {
+	if cfg.Slots <= 0 {
+		cfg.Slots = 256
+	}
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = 8
+	}
+	fr := &FlowRate{cfg: cfg}
+	for i := 0; i < cfg.Slots; i++ {
+		fr.windows = append(fr.windows, sketch.NewWindowRate(cfg.Buckets))
+	}
+	p := pisa.NewProgram("flowrate")
+	p.HandleFunc(events.IngressPacket, func(ctx *pisa.Context) {
+		ctx.EgressPort = cfg.EgressPort
+		if ctx.FlowOK {
+			fr.windows[ctx.Ev.FlowHash%uint64(cfg.Slots)].Add(uint64(ctx.Pkt.Len()))
+		}
+	})
+	p.HandleFunc(events.TimerExpiration, func(ctx *pisa.Context) {
+		fr.Shifts++
+		for _, w := range fr.windows {
+			w.Shift()
+		}
+	})
+	return fr, p
+}
+
+// Arm configures the shift timer.
+func (fr *FlowRate) Arm(sw *core.Switch, period sim.Time) error {
+	fr.period = period
+	return sw.ConfigureTimer(0, period)
+}
+
+// Rate reports a flow slot's measured rate in bytes/second over the
+// filled window.
+func (fr *FlowRate) Rate(slot uint32) float64 {
+	w := fr.windows[int(slot)%fr.cfg.Slots]
+	filled := w.Filled()
+	if filled == 0 || fr.period == 0 {
+		return 0
+	}
+	window := fr.period * sim.Time(filled)
+	return float64(w.Sum()) / window.Seconds()
+}
+
+// SlotOf maps a flow hash to its window slot.
+func (fr *FlowRate) SlotOf(h uint64) uint32 { return uint32(h % uint64(fr.cfg.Slots)) }

@@ -1,0 +1,194 @@
+package apps
+
+import (
+	"encoding/binary"
+
+	"repro/internal/events"
+	"repro/internal/packet"
+	"repro/internal/pisa"
+)
+
+// NetChain-style in-network coordination (Table 2 In-Network Computing
+// cites NetChain; paper §3: "Link status change events enable
+// coordination services, such as NetChain, to quickly react to network
+// failures.").
+//
+// A chain of switches replicates a key-value store: writes enter at the
+// head, propagate down the chain, and are acknowledged by the tail;
+// reads are answered by the tail. Each node knows its successor's port.
+// When a node's successor link dies, the LinkStatusChange handler
+// immediately re-chains to the backup successor (skipping the dead node)
+// — failover happens in the data plane within one event, no coordinator.
+//
+// Wire format: chain ops ride UDP on ChainPort with payload
+// "op(1) key(8) value(8) seq(4)": op 1=WRITE, 2=READ, 3=READ-REPLY,
+// 4=WRITE-ACK.
+
+// Chain protocol constants.
+const (
+	ChainPort     = 9100
+	ChainWrite    = 1
+	ChainRead     = 2
+	ChainReply    = 3
+	ChainWriteAck = 4
+	chainPayload  = 21
+)
+
+// ChainNodeConfig parameterizes one chain replica.
+type ChainNodeConfig struct {
+	SwitchID uint32
+	// ClientPort faces the clients (head receives writes, tail answers
+	// reads and emits acks).
+	ClientPort int
+	// SuccessorPort is the port toward the next node (-1 for the tail).
+	SuccessorPort int
+	// BackupPort is used when the successor link dies (-1: none; the
+	// head's backup skips the middle node straight to the tail).
+	BackupPort int
+	// Tail marks the last node in the chain.
+	Tail bool
+}
+
+// ChainNode is one replica.
+type ChainNode struct {
+	cfg   ChainNodeConfig
+	store map[uint64]uint64
+	// succUp tracks the successor link's status.
+	succUp bool
+
+	Writes, Reads uint64
+	Failovers     uint64
+}
+
+// Store exposes the replica's key-value state (for consistency checks).
+func (n *ChainNode) Store() map[uint64]uint64 { return n.store }
+
+// NewChainNode builds one replica's program.
+func NewChainNode(cfg ChainNodeConfig) (*ChainNode, *pisa.Program) {
+	n := &ChainNode{cfg: cfg, store: make(map[uint64]uint64), succUp: true}
+	p := pisa.NewProgram("netchain-node")
+
+	p.HandleFunc(events.IngressPacket, func(ctx *pisa.Context) {
+		op, key, val, seq, ok := parseChain(ctx)
+		if !ok {
+			ctx.Drop()
+			return
+		}
+		switch op {
+		case ChainWrite:
+			n.store[key] = val
+			n.Writes++
+			if n.cfg.Tail {
+				// Tail commits: ack back along the arrival path, which
+				// stays correct across re-chaining.
+				ctx.Emit(buildChain(ctx.Flow.Reverse(), ChainWriteAck, key, val, seq), ctx.Pkt.InPort)
+				ctx.Drop()
+				return
+			}
+			// Propagate down the (possibly re-chained) successor.
+			ctx.EgressPort = n.successor()
+		case ChainRead:
+			if n.cfg.Tail {
+				n.Reads++
+				ctx.Emit(buildChain(ctx.Flow.Reverse(), ChainReply, key, n.store[key], seq), ctx.Pkt.InPort)
+				ctx.Drop()
+				return
+			}
+			// Interior nodes forward reads toward the tail.
+			ctx.EgressPort = n.successor()
+		default:
+			// Replies/acks traveling back toward clients.
+			ctx.EgressPort = n.cfg.ClientPort
+		}
+	})
+	p.HandleFunc(events.LinkStatusChange, func(ctx *pisa.Context) {
+		if ctx.Ev.Port != n.cfg.SuccessorPort {
+			return
+		}
+		wasUp := n.succUp
+		n.succUp = ctx.Ev.Up
+		if wasUp && !ctx.Ev.Up && n.cfg.BackupPort >= 0 {
+			n.Failovers++
+		}
+	})
+	return n, p
+}
+
+func (n *ChainNode) successor() int {
+	if n.succUp || n.cfg.BackupPort < 0 {
+		return n.cfg.SuccessorPort
+	}
+	return n.cfg.BackupPort
+}
+
+func parseChain(ctx *pisa.Context) (op int, key, val uint64, seq uint32, ok bool) {
+	if !ctx.Has(packet.LayerUDP) {
+		return 0, 0, 0, 0, false
+	}
+	u := &ctx.Parsed.UDP
+	if u.DstPort != ChainPort && u.SrcPort != ChainPort {
+		return 0, 0, 0, 0, false
+	}
+	pay := u.LayerPayload()
+	if len(pay) < chainPayload {
+		return 0, 0, 0, 0, false
+	}
+	return int(pay[0]),
+		binary.BigEndian.Uint64(pay[1:9]),
+		binary.BigEndian.Uint64(pay[9:17]),
+		binary.BigEndian.Uint32(pay[17:21]), true
+}
+
+func buildChain(flow packet.Flow, op int, key, val uint64, seq uint32) []byte {
+	flow.SrcPort = ChainPort
+	flow.Proto = packet.ProtoUDP
+	total := packet.EthernetHeaderLen + packet.IPv4HeaderLen + packet.UDPHeaderLen + chainPayload
+	data := packet.BuildFrame(packet.FrameSpec{Flow: flow, TotalLen: total})
+	pay := data[packet.EthernetHeaderLen+packet.IPv4HeaderLen+packet.UDPHeaderLen:]
+	pay[0] = byte(op)
+	binary.BigEndian.PutUint64(pay[1:9], key)
+	binary.BigEndian.PutUint64(pay[9:17], val)
+	binary.BigEndian.PutUint32(pay[17:21], seq)
+	return data
+}
+
+// BuildChainRequest builds a client WRITE or READ frame.
+func BuildChainRequest(flow packet.Flow, op int, key, val uint64, seq uint32) []byte {
+	flow.DstPort = ChainPort
+	flow.Proto = packet.ProtoUDP
+	total := packet.EthernetHeaderLen + packet.IPv4HeaderLen + packet.UDPHeaderLen + chainPayload
+	data := packet.BuildFrame(packet.FrameSpec{Flow: flow, TotalLen: total})
+	pay := data[packet.EthernetHeaderLen+packet.IPv4HeaderLen+packet.UDPHeaderLen:]
+	pay[0] = byte(op)
+	binary.BigEndian.PutUint64(pay[1:9], key)
+	binary.BigEndian.PutUint64(pay[9:17], val)
+	binary.BigEndian.PutUint32(pay[17:21], seq)
+	return data
+}
+
+// ParseChainReply decodes a reply/ack frame at a client host, returning
+// ok=false for other traffic.
+func ParseChainReply(data []byte) (op int, key, val uint64, seq uint32, ok bool) {
+	var p packet.Parser
+	var dec []packet.LayerType
+	if err := p.Decode(data, &dec); err != nil {
+		return 0, 0, 0, 0, false
+	}
+	hasUDP := false
+	for _, l := range dec {
+		if l == packet.LayerUDP {
+			hasUDP = true
+		}
+	}
+	if !hasUDP || (p.UDP.SrcPort != ChainPort && p.UDP.DstPort != ChainPort) {
+		return 0, 0, 0, 0, false
+	}
+	pay := p.UDP.LayerPayload()
+	if len(pay) < chainPayload {
+		return 0, 0, 0, 0, false
+	}
+	return int(pay[0]),
+		binary.BigEndian.Uint64(pay[1:9]),
+		binary.BigEndian.Uint64(pay[9:17]),
+		binary.BigEndian.Uint32(pay[17:21]), true
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{ID: "hula", Paper: "§3 Congestion Aware Forwarding: HULA probes from the data plane", Run: HULABench})
+}
+
+// HULABench builds a 2-ToR / 2-spine leaf-spine fabric running HULA and
+// sweeps the probe period. Data-plane generators can probe at tens of
+// microseconds; a control-plane implementation is limited to
+// millisecond-scale periods (its channel latency and software jitter).
+// The measurement is uplink load balance at tor0 under skewed flows: how
+// evenly the two spine paths carry the offered load (Jain fairness of the
+// two uplink byte counts) and how quickly the best hop reflects
+// congestion.
+func HULABench() *Result {
+	res := &Result{
+		ID:    "hula",
+		Title: "HULA path balancing vs probe period (paper §3)",
+		Cols:  []string{"probe source", "probe period", "uplink balance (Jain)", "probes/s/switch", "flows moved"},
+	}
+	for _, cfg := range []struct {
+		name   string
+		period sim.Time
+	}{
+		{"data plane", 50 * sim.Microsecond},
+		{"data plane", 200 * sim.Microsecond},
+		{"data plane", 1 * sim.Millisecond},
+		{"control plane", 10 * sim.Millisecond}, // feasible CP period
+		{"control plane", 50 * sim.Millisecond},
+	} {
+		jain, pps, moved := runHULAFabric(cfg.period)
+		res.AddRow(cfg.name, cfg.period.String(),
+			fmt.Sprintf("%.3f", jain), fmt.Sprintf("%.0f", pps), d(moved))
+	}
+	res.Notef("Jain fairness of tor0's two uplink byte counts over the run; 1.0 = perfectly balanced")
+	res.Notef("control-plane rows model the same probes generated at the slowest period a software agent sustains")
+	res.Notef("'flows moved' counts best-hop changes at tor0 — congestion response happening at all")
+	return res
+}
+
+// runHULAFabric runs the fabric for a fixed horizon with the given probe
+// period and returns the Jain fairness of tor0's uplink usage, the probe
+// rate, and the number of best-hop changes.
+func runHULAFabric(probePeriod sim.Time) (jain float64, probesPerSec float64, moved int) {
+	const horizon = 50 * sim.Millisecond
+	sched := sim.NewScheduler()
+	net := netsim.New(sched)
+
+	refresh := probePeriod
+	if refresh < 100*sim.Microsecond {
+		refresh = 100 * sim.Microsecond
+	}
+
+	mkTor := func(name string, id uint16) (*core.Switch, *apps.HULA) {
+		sw := core.New(core.Config{Name: name}, core.EventDriven(), sched)
+		h, prog := apps.NewHULA(apps.HULAConfig{
+			TorID: id, ProbePeriod: probePeriod,
+			UplinkPorts: []int{1, 2}, HostPort: 0, Tors: 2,
+		})
+		sw.MustLoad(prog)
+		return sw, h
+	}
+	tor0, h0 := mkTor("tor0", 0)
+	tor1, h1 := mkTor("tor1", 1)
+	mkSpine := func(name string) (*core.Switch, *apps.HULA) {
+		sw := core.New(core.Config{Name: name}, core.EventDriven(), sched)
+		h, prog := apps.SpineProbeRelay(2, 2, func(tor int) int { return tor })
+		sw.MustLoad(prog)
+		return sw, h
+	}
+	sp0, sh0 := mkSpine("spine0")
+	sp1, sh1 := mkSpine("spine1")
+	for _, sw := range []*core.Switch{tor0, tor1, sp0, sp1} {
+		net.AddSwitch(sw)
+	}
+	net.ConnectLeafSpine([]*core.Switch{tor0, tor1}, []*core.Switch{sp0, sp1}, sim.Microsecond)
+	h1host := net.NewHost("h1", packet.IP4(10, 1, 0, 2))
+	net.Attach(h1host, tor1, 0, 0)
+	h0host := net.NewHost("h0", packet.IP4(10, 0, 0, 2))
+	net.Attach(h0host, tor0, 0, 0)
+
+	mustOK(h0.Attach(tor0, refresh))
+	mustOK(h1.Attach(tor1, refresh))
+	mustOK(sh0.AttachSpine(sp0, refresh))
+	mustOK(sh1.AttachSpine(sp1, refresh))
+
+	// Offered: 12 flows from h0 toward tor1 hosts, together ~8 Gb/s, so
+	// a single uplink (10G) would run hot while two balanced uplinks
+	// stay comfortable.
+	rng := sim.NewRNG(7)
+	for i := 0; i < 12; i++ {
+		fl := packet.Flow{
+			Src: packet.IP4(10, 0, 0, 2), Dst: packet.IP4(10, 1, byte(i), 5),
+			SrcPort: uint16(3000 + i), DstPort: 80, Proto: packet.ProtoUDP,
+		}
+		g := workload.NewGen(sched, rng.Split(), func(d []byte) { h0host.Send(d) })
+		g.StartCBR(workload.CBRConfig{
+			Flow: fl, Size: workload.FixedSize(1500),
+			Rate: 660 * sim.Mbps, Until: horizon,
+		})
+	}
+
+	// Track tor0 uplink bytes and best-hop changes.
+	uplinkBytes := [2]uint64{}
+	net.TapTransmit(tor0, func(port int, data []byte) {
+		// Count only data traffic, not probes.
+		if packet.EtherTypeOf(data) != packet.EtherTypeIPv4 {
+			return
+		}
+		switch port {
+		case 1:
+			uplinkBytes[0] += uint64(len(data))
+		case 2:
+			uplinkBytes[1] += uint64(len(data))
+		}
+	})
+
+	lastHop := -1
+	sched.Every(100*sim.Microsecond, func() {
+		hop, _ := h0.BestHop(1)
+		if hop != lastHop && hop >= 0 {
+			if lastHop >= 0 {
+				moved++
+			}
+			lastHop = hop
+		}
+	})
+
+	sched.Run(horizon)
+
+	a, b := float64(uplinkBytes[0]), float64(uplinkBytes[1])
+	if a+b == 0 {
+		return 0, 0, moved
+	}
+	jain = (a + b) * (a + b) / (2 * (a*a + b*b))
+	probesPerSec = float64(h0.ProbesSent) / horizon.Seconds()
+	return jain, probesPerSec, moved
+}

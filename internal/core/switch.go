@@ -1,0 +1,736 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/events"
+	"repro/internal/packet"
+	"repro/internal/pisa"
+	"repro/internal/sim"
+	"repro/internal/tm"
+)
+
+// WireOverhead is the per-frame wire overhead in bytes beyond the frame
+// data the simulator carries: 4 (FCS) + 8 (preamble) + 12 (inter-frame
+// gap). It determines both serialization times and the pipeline's
+// minimum-packet cycle budget.
+const WireOverhead = 24
+
+// minWireBytes is the wire footprint of a minimum-size frame.
+const minWireBytes = packet.MinFrameLen + WireOverhead // 84 bytes = 64B frame + 20B overhead
+
+// Config sizes a Switch.
+type Config struct {
+	// Name identifies the switch in traces and stats.
+	Name string
+	// Ports is the number of full-duplex ports (default 4, as on the
+	// NetFPGA SUME).
+	Ports int
+	// LineRate is the per-port rate (default 10 Gb/s).
+	LineRate sim.Rate
+	// Overspeed is the pipeline clock multiplier relative to the exact
+	// aggregate minimum-packet rate. 1.0 means one slot per possible
+	// minimum packet; modern switch chips run slightly faster than line
+	// rate (paper §4), so the default is 1.1.
+	Overspeed float64
+	// QueueCapBytes bounds each output queue (default 256 KiB).
+	QueueCapBytes int
+	// QueuesPerPort is output queues per port (default 1).
+	QueuesPerPort int
+	// Discipline is the TM scheduling discipline.
+	Discipline tm.Discipline
+	// EventQueueDepth bounds each event FIFO between a source and the
+	// Event Merger (default 512).
+	EventQueueDepth int
+	// PipelineLatency is the ingress-pipeline depth in cycles: the delay
+	// between a slot entering the pipeline and its packet reaching the
+	// traffic manager (default 16 stages).
+	PipelineLatency int
+	// MaxEventsPerSlot bounds how many events the merger can attach to
+	// one pipeline slot — the metadata bus width of paper §4 ("the
+	// pipeline is wide enough to carry all the events"). 0 means one
+	// event of every kind fits (a full-width bus).
+	MaxEventsPerSlot int
+	// NoPiggyback disables the Event Merger's defining trick: events no
+	// longer ride packet slots, so every event consumes a dedicated
+	// (empty-packet) slot that competes with packets for the pipeline.
+	// Only for the ablation; the paper's design always piggybacks.
+	NoPiggyback bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ports <= 0 {
+		c.Ports = 4
+	}
+	if c.LineRate <= 0 {
+		c.LineRate = 10 * sim.Gbps
+	}
+	if c.Overspeed <= 0 {
+		c.Overspeed = 1.1
+	}
+	if c.QueueCapBytes <= 0 {
+		c.QueueCapBytes = 256 << 10
+	}
+	if c.QueuesPerPort <= 0 {
+		c.QueuesPerPort = 1
+	}
+	if c.EventQueueDepth <= 0 {
+		c.EventQueueDepth = 512
+	}
+	if c.PipelineLatency <= 0 {
+		c.PipelineLatency = 16
+	}
+	return c
+}
+
+// MergerPriority is the order in which the Event Merger drains event
+// FIFOs into a slot: most urgent first (paper §4 raises exactly this
+// scheduling question; this is the default the prototype uses).
+var MergerPriority = []events.Kind{
+	events.BufferDequeue,
+	events.BufferEnqueue,
+	events.BufferOverflow,
+	events.BufferUnderflow,
+	events.PacketTransmitted,
+	events.LinkStatusChange,
+	events.TimerExpiration,
+	events.ControlPlaneTriggered,
+	events.UserEvent,
+}
+
+// Stats counts a switch's lifetime activity.
+type Stats struct {
+	RxPackets, RxBytes uint64
+	TxPackets, TxBytes uint64
+	RxDropped          uint64 // arrived on a downed link
+	TxDroppedLinkDown  uint64
+	PipelineDrops      uint64 // dropped by the program's decision
+	Cycles             uint64
+	PacketSlots        uint64 // slots carrying a real packet
+	EmptySlots         uint64 // injected empty packets (metadata carriers)
+	DrainSlots         uint64 // cycles run purely to drain aggregation
+	EventsMerged       [events.NumKinds]uint64
+	EventsDropped      [events.NumKinds]uint64 // FIFO-full losses
+	Recirculated       uint64
+	Generated          uint64
+}
+
+// SlotInfo describes one executed pipeline slot for tracing.
+type SlotInfo struct {
+	Cycle   uint64
+	At      sim.Time
+	PktKind events.Kind // IngressPacket/RecirculatedPacket/GeneratedPacket
+	PktLen  int         // 0 for empty metadata slots
+	Empty   bool
+	Events  []events.Kind // non-packet events merged into the slot
+}
+
+// genTemplate is a periodic packet-generator configuration.
+type genTemplate struct {
+	every  sim.Time
+	make   func(seq uint64) ([]byte, int) // returns frame and suggested port (-1: route in pipeline)
+	seq    uint64
+	ticker *sim.Ticker
+}
+
+// Switch is one switch instance: the datapath of Figure 4 attached to a
+// scheduler. Create with New, load a Program with Load, feed packets with
+// Inject (or connect links in internal/netsim), then run the scheduler.
+type Switch struct {
+	cfg   Config
+	arch  *Arch
+	sched *sim.Scheduler
+	prog  *pisa.Program
+
+	cycleTime   sim.Time
+	nextCycleAt sim.Time
+	cycleIdx    uint64
+	scheduled   bool
+
+	rxq        [][]*packet.Packet
+	rxHead     []int
+	rxRR       int
+	recirc     []*packet.Packet
+	lastRecirc bool
+	genq       []*packet.Packet
+
+	evq [events.NumKinds]*events.Queue
+
+	tmgr   *tm.TM
+	linkUp []bool
+	txBusy []bool
+	evSeq  uint64
+
+	timers []*sim.Ticker
+	gens   []*genTemplate
+
+	ctx pisa.Context
+
+	// OnTransmit, when set, receives each packet as its last byte
+	// leaves the given port (netsim uses it to drive links).
+	OnTransmit func(port int, pkt *packet.Packet)
+
+	// OnDrop, when set, observes packets the switch discards with the
+	// reason ("tm-overflow", "pipeline-drop", "link-down", ...).
+	OnDrop func(pkt *packet.Packet, reason string)
+
+	// OnSlot, when set, observes every executed pipeline slot (cycle
+	// trace). It costs a call per cycle; leave nil in experiments.
+	OnSlot func(info SlotInfo)
+
+	stats Stats
+}
+
+// New builds a switch on the given scheduler with the given architecture.
+func New(cfg Config, arch *Arch, sched *sim.Scheduler) *Switch {
+	cfg = cfg.withDefaults()
+	s := &Switch{cfg: cfg, arch: arch, sched: sched}
+
+	perPortMin := cfg.LineRate.ByteTime(minWireBytes)
+	s.cycleTime = sim.Time(float64(perPortMin) / (float64(cfg.Ports) * cfg.Overspeed))
+	if s.cycleTime < 1 {
+		s.cycleTime = 1
+	}
+
+	s.rxq = make([][]*packet.Packet, cfg.Ports)
+	s.rxHead = make([]int, cfg.Ports)
+	s.linkUp = make([]bool, cfg.Ports)
+	s.txBusy = make([]bool, cfg.Ports)
+	for i := range s.linkUp {
+		s.linkUp[i] = true
+	}
+	for k := 0; k < events.NumKinds; k++ {
+		s.evq[k] = events.NewQueue(events.Kind(k), cfg.EventQueueDepth)
+	}
+	s.tmgr = tm.New(tm.Config{
+		Ports:         cfg.Ports,
+		QueuesPerPort: cfg.QueuesPerPort,
+		QueueCapBytes: cfg.QueueCapBytes,
+		Discipline:    cfg.Discipline,
+	})
+	s.tmgr.OnEvent = s.tmEvent
+	return s
+}
+
+// Name returns the switch name.
+func (s *Switch) Name() string { return s.cfg.Name }
+
+// Config returns the effective configuration.
+func (s *Switch) Config() Config { return s.cfg }
+
+// Arch returns the switch's architecture description.
+func (s *Switch) Arch() *Arch { return s.arch }
+
+// CycleTime returns the pipeline clock period.
+func (s *Switch) CycleTime() sim.Time { return s.cycleTime }
+
+// TM exposes the traffic manager (monitors read occupancancies from it).
+func (s *Switch) TM() *tm.TM { return s.tmgr }
+
+// Program returns the loaded program (nil before Load).
+func (s *Switch) Program() *pisa.Program { return s.prog }
+
+// Stats returns a snapshot of the switch's counters.
+func (s *Switch) Stats() Stats { return s.stats }
+
+// Load installs a program after validating it against the architecture.
+func (s *Switch) Load(p *pisa.Program) error {
+	if err := s.arch.Validate(p); err != nil {
+		return err
+	}
+	s.prog = p
+	return nil
+}
+
+// MustLoad is Load that panics on error, for experiment setup code.
+func (s *Switch) MustLoad(p *pisa.Program) {
+	if err := s.Load(p); err != nil {
+		panic(err)
+	}
+}
+
+// --- event sources -------------------------------------------------------
+
+// tmEvent receives traffic-manager events and routes them into the
+// merger's FIFOs when the architecture exposes them and the program
+// subscribes.
+func (s *Switch) tmEvent(e events.Event) {
+	s.pushEvent(e)
+}
+
+func (s *Switch) pushEvent(e events.Event) {
+	if !s.arch.Supports(e.Kind) || s.prog == nil || !s.prog.Handles(e.Kind) {
+		return
+	}
+	e.Seq = s.evSeq
+	s.evSeq++
+	if !s.evq[e.Kind].Push(e) {
+		s.stats.EventsDropped[e.Kind]++
+		return
+	}
+	s.wake()
+}
+
+// Inject delivers a fully received frame to an input port (the caller
+// models wire timing). Frames arriving on a downed link are lost.
+func (s *Switch) Inject(port int, data []byte) {
+	if port < 0 || port >= s.cfg.Ports {
+		panic(fmt.Sprintf("core: inject on invalid port %d", port))
+	}
+	if !s.linkUp[port] {
+		s.stats.RxDropped++
+		return
+	}
+	s.stats.RxPackets++
+	s.stats.RxBytes += uint64(len(data))
+	s.rxq[port] = append(s.rxq[port], &packet.Packet{Data: data, InPort: port})
+	s.wake()
+}
+
+// ConfigureTimer arms hardware timer id to fire TimerExpiration events
+// with the given period. It errors if the architecture lacks timers or
+// the id is out of range. Reconfiguring an armed timer replaces it.
+func (s *Switch) ConfigureTimer(id int, period sim.Time) error {
+	if s.arch.Timers == 0 {
+		return fmt.Errorf("core: architecture %q has no timer block", s.arch.Name)
+	}
+	if id < 0 || id >= s.arch.Timers {
+		return fmt.Errorf("core: timer id %d out of range (%d timers)", id, s.arch.Timers)
+	}
+	for len(s.timers) <= id {
+		s.timers = append(s.timers, nil)
+	}
+	if s.timers[id] != nil {
+		s.timers[id].Stop()
+	}
+	s.timers[id] = s.sched.Every(period, func() {
+		s.pushEvent(events.Event{
+			Kind: events.TimerExpiration, When: s.sched.Now(), TimerID: id, Port: -1,
+		})
+	})
+	return nil
+}
+
+// StopTimer disarms timer id.
+func (s *Switch) StopTimer(id int) {
+	if id >= 0 && id < len(s.timers) && s.timers[id] != nil {
+		s.timers[id].Stop()
+		s.timers[id] = nil
+	}
+}
+
+// AddGenerator configures the packet generator to emit a frame every
+// period. mk builds each frame and names the output port, or -1 to let
+// the pipeline route it (the frame then traverses the pipeline as a
+// GeneratedPacket event). It errors when the architecture has no
+// generator block.
+func (s *Switch) AddGenerator(period sim.Time, mk func(seq uint64) (data []byte, port int)) error {
+	if !s.arch.Generator {
+		return fmt.Errorf("core: architecture %q has no packet generator", s.arch.Name)
+	}
+	g := &genTemplate{every: period, make: mk}
+	s.gens = append(s.gens, g)
+	g.ticker = s.sched.Every(period, func() {
+		data, port := g.make(g.seq)
+		g.seq++
+		if data == nil {
+			return
+		}
+		s.stats.Generated++
+		pkt := &packet.Packet{Data: data, InPort: -1, Gen: true}
+		if port >= 0 {
+			// Direct injection to the TM, as when the generator is
+			// configured with a fixed output port.
+			s.enqueueOut(pkt, port, 0, 0, flowHashOf(data))
+			return
+		}
+		s.genq = append(s.genq, pkt)
+		s.wake()
+	})
+	return nil
+}
+
+// StopGenerators halts every configured packet generator.
+func (s *Switch) StopGenerators() {
+	for _, g := range s.gens {
+		g.ticker.Stop()
+	}
+	s.gens = nil
+}
+
+// SetLink changes a port's link status, raising a LinkStatusChange event.
+func (s *Switch) SetLink(port int, up bool) {
+	if s.linkUp[port] == up {
+		return
+	}
+	s.linkUp[port] = up
+	s.pushEvent(events.Event{
+		Kind: events.LinkStatusChange, When: s.sched.Now(), Port: port, Up: up,
+	})
+	if up {
+		s.pump(port)
+	}
+}
+
+// LinkIsUp reports a port's link status.
+func (s *Switch) LinkIsUp(port int) bool { return s.linkUp[port] }
+
+// TriggerControlEvent injects a ControlPlaneTriggered event carrying an
+// opaque payload (the control plane's side channel into the data plane).
+func (s *Switch) TriggerControlEvent(data uint64) {
+	s.pushEvent(events.Event{
+		Kind: events.ControlPlaneTriggered, When: s.sched.Now(), Data: data, Port: -1,
+	})
+}
+
+// --- the event merger and pipeline ---------------------------------------
+
+func (s *Switch) havePacketWork() bool {
+	if len(s.recirc) > 0 || len(s.genq) > 0 {
+		return true
+	}
+	for p := range s.rxq {
+		if s.rxHead[p] < len(s.rxq[p]) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Switch) haveEventWork() bool {
+	for _, k := range MergerPriority {
+		if s.evq[k].Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Switch) haveDrainWork() bool {
+	if s.prog == nil {
+		return false
+	}
+	for _, r := range s.prog.Registers() {
+		if r.Backlog() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// wake schedules the next pipeline cycle if work is pending.
+func (s *Switch) wake() {
+	if s.scheduled {
+		return
+	}
+	if !s.havePacketWork() && !s.haveEventWork() && !s.haveDrainWork() {
+		return
+	}
+	at := s.nextCycleAt
+	if now := s.sched.Now(); at < now {
+		at = now
+	}
+	s.scheduled = true
+	s.sched.At(at, s.runCycle)
+}
+
+// popPacket selects the slot's packet by merger priority: recirculated,
+// then input ports (round-robin), then generated. Recirculated packets
+// get at most every other slot when fresh arrivals are waiting, bounding
+// the recirculation bandwidth the way real recirculation ports do (a
+// program that recirculates forever cannot starve the wire).
+func (s *Switch) popPacket() (*packet.Packet, events.Kind, bool) {
+	rxPending := false
+	for p := range s.rxq {
+		if s.rxHead[p] < len(s.rxq[p]) {
+			rxPending = true
+			break
+		}
+	}
+	if len(s.recirc) > 0 && !(s.lastRecirc && rxPending) {
+		pkt := s.recirc[0]
+		s.recirc = s.recirc[1:]
+		s.lastRecirc = true
+		return pkt, events.RecirculatedPacket, true
+	}
+	s.lastRecirc = false
+	for i := 0; i < s.cfg.Ports; i++ {
+		p := (s.rxRR + i) % s.cfg.Ports
+		if s.rxHead[p] < len(s.rxq[p]) {
+			pkt := s.rxq[p][s.rxHead[p]]
+			s.rxq[p][s.rxHead[p]] = nil
+			s.rxHead[p]++
+			if s.rxHead[p] == len(s.rxq[p]) {
+				s.rxq[p] = s.rxq[p][:0]
+				s.rxHead[p] = 0
+			}
+			s.rxRR = (p + 1) % s.cfg.Ports
+			return pkt, events.IngressPacket, true
+		}
+	}
+	if len(s.genq) > 0 {
+		pkt := s.genq[0]
+		s.genq = s.genq[1:]
+		return pkt, events.GeneratedPacket, true
+	}
+	return nil, 0, false
+}
+
+// runCycle executes one pipeline cycle: the Event Merger forms a slot
+// (packet plus up to one event per kind), the program's handlers run, and
+// the aggregation registers drain with leftover bandwidth.
+func (s *Switch) runCycle() {
+	s.scheduled = false
+	now := s.sched.Now()
+	s.cycleIdx++
+	s.nextCycleAt = now + s.cycleTime
+	s.stats.Cycles++
+
+	cycle := s.cycleIdx
+	if s.prog != nil {
+		s.prog.Tick(cycle)
+	}
+
+	// Gather this slot's events: at most one per kind, priority order.
+	// In the ablation's no-piggyback mode, a slot with pending events
+	// carries only events (an empty packet), and packets wait.
+	var slotEvents [events.NumKinds]events.Event
+	var nEvents int
+	var kinds [events.NumKinds]events.Kind
+	gatherEvents := func() {
+		maxEv := s.cfg.MaxEventsPerSlot
+		for _, k := range MergerPriority {
+			if maxEv > 0 && nEvents >= maxEv {
+				break
+			}
+			if e, ok := s.evq[k].Pop(); ok {
+				slotEvents[nEvents] = e
+				kinds[nEvents] = k
+				nEvents++
+			}
+		}
+	}
+
+	var pkt *packet.Packet
+	var pktKind events.Kind
+	var havePkt bool
+	if s.cfg.NoPiggyback {
+		gatherEvents()
+		if nEvents == 0 {
+			pkt, pktKind, havePkt = s.popPacket()
+		}
+	} else {
+		pkt, pktKind, havePkt = s.popPacket()
+		gatherEvents()
+	}
+
+	switch {
+	case havePkt:
+		s.stats.PacketSlots++
+	case nEvents > 0:
+		// No packet on the wire: the merger injects an empty packet to
+		// carry the event metadata (paper §5).
+		pkt = &packet.Packet{Empty: true, InPort: -1}
+		s.stats.EmptySlots++
+	default:
+		// Pure drain cycle: spare bandwidth applies aggregated updates.
+		s.stats.DrainSlots++
+		if s.prog != nil {
+			s.prog.EndCycle()
+		}
+		s.wake()
+		return
+	}
+
+	if s.OnSlot != nil {
+		info := SlotInfo{Cycle: cycle, At: now, PktKind: pktKind, PktLen: pkt.Len(), Empty: pkt.Empty}
+		for i := 0; i < nEvents; i++ {
+			info.Events = append(info.Events, kinds[i])
+		}
+		s.OnSlot(info)
+	}
+
+	ctx := &s.ctx
+	pktEv := events.Event{Kind: pktKind, When: now, Port: pkt.InPort, PktLen: pkt.Len()}
+	ctx.Reset(pkt, pktEv, now, cycle)
+
+	if havePkt && s.prog != nil {
+		// Parse headers once per slot.
+		_ = ctx.Parsed.Decode(pkt.Data, &ctx.Decoded)
+		ctx.Flow, ctx.FlowOK = packet.FlowOf(pkt.Data)
+		if ctx.FlowOK {
+			// Packet events carry the flow hash, like the paper's
+			// ingress logic initializing enq_meta.flowID.
+			pktEv.FlowHash = ctx.Flow.Hash()
+			ctx.Ev = pktEv
+		}
+		if s.prog.Handles(pktKind) {
+			s.stats.EventsMerged[pktKind]++
+			s.prog.Apply(ctx)
+		}
+	}
+	if s.prog != nil {
+		for i := 0; i < nEvents; i++ {
+			ctx.Ev = slotEvents[i]
+			s.stats.EventsMerged[kinds[i]]++
+			s.prog.Apply(ctx)
+		}
+		ctx.Ev = pktEv
+	}
+
+	s.finishSlot(ctx, havePkt)
+
+	if s.prog != nil {
+		s.prog.EndCycle()
+	}
+	s.wake()
+}
+
+// finishSlot applies the slot's side effects: user events, generated
+// packets, recirculation, and the forwarding decision.
+func (s *Switch) finishSlot(ctx *pisa.Context, havePkt bool) {
+	for _, e := range ctx.Raised {
+		s.pushEvent(e)
+	}
+	for _, g := range ctx.Generated {
+		s.stats.Generated++
+		pkt := &packet.Packet{Data: g.Data, InPort: -1, Gen: true}
+		if g.Port >= 0 && g.Port < s.cfg.Ports {
+			s.enqueueOut(pkt, g.Port, 0, 0, flowHashOf(g.Data))
+		} else {
+			s.genq = append(s.genq, pkt)
+		}
+	}
+	if !havePkt {
+		return
+	}
+	pkt := ctx.Pkt
+	if ctx.Recirculate {
+		cl := pkt
+		cl.Recirc++
+		s.stats.Recirculated++
+		s.recirc = append(s.recirc, cl)
+		return
+	}
+	if ctx.EgressPort == pisa.PortDrop {
+		s.stats.PipelineDrops++
+		if s.OnDrop != nil {
+			s.OnDrop(pkt, "pipeline-drop")
+		}
+		return
+	}
+	if ctx.EgressPort < 0 || ctx.EgressPort >= s.cfg.Ports {
+		s.stats.PipelineDrops++
+		if s.OnDrop != nil {
+			s.OnDrop(pkt, "bad-egress-port")
+		}
+		return
+	}
+	var fh uint64
+	if ctx.FlowOK {
+		fh = ctx.Flow.Hash()
+	}
+	s.enqueueOutDelayed(pkt, ctx.EgressPort, ctx.Queue, ctx.Rank, fh)
+}
+
+// enqueueOutDelayed models the pipeline's depth: the packet reaches the
+// traffic manager PipelineLatency cycles after its slot.
+func (s *Switch) enqueueOutDelayed(pkt *packet.Packet, port, q int, rank, flowHash uint64) {
+	delay := sim.Time(s.cfg.PipelineLatency) * s.cycleTime
+	s.sched.After(delay, func() {
+		s.enqueueOut(pkt, port, q, rank, flowHash)
+	})
+}
+
+func (s *Switch) enqueueOut(pkt *packet.Packet, port, q int, rank, flowHash uint64) {
+	ok := s.tmgr.Enqueue(pkt, port, q, rank, flowHash, s.sched.Now())
+	if !ok {
+		if s.OnDrop != nil {
+			s.OnDrop(pkt, "tm-overflow")
+		}
+		return
+	}
+	s.pump(port)
+}
+
+// pump starts transmitting on a port if it is idle and has queued work.
+func (s *Switch) pump(port int) {
+	if s.txBusy[port] {
+		return
+	}
+	pkt, ok := s.tmgr.Dequeue(port, s.sched.Now())
+	if !ok {
+		return
+	}
+	// PSA-style egress processing at dequeue time, when bound. The
+	// context must be local: the handler's side effects (Emit ->
+	// enqueueOut -> pump) can re-enter this function for another port.
+	if s.prog != nil && s.prog.Handles(events.EgressPacket) && !pkt.Empty {
+		ctx := &pisa.Context{}
+		ctx.Reset(pkt, events.Event{
+			Kind: events.EgressPacket, When: s.sched.Now(), Port: port, PktLen: pkt.Len(),
+		}, s.sched.Now(), s.cycleIdx)
+		_ = ctx.Parsed.Decode(pkt.Data, &ctx.Decoded)
+		ctx.Flow, ctx.FlowOK = packet.FlowOf(pkt.Data)
+		ctx.EgressPort = port
+		s.prog.Apply(ctx)
+		for _, e := range ctx.Raised {
+			s.pushEvent(e)
+		}
+		for _, g := range ctx.Generated {
+			gp := &packet.Packet{Data: g.Data, InPort: -1, Gen: true}
+			if g.Port >= 0 {
+				s.enqueueOut(gp, g.Port, 0, 0, flowHashOf(g.Data))
+			} else {
+				s.genq = append(s.genq, gp)
+				s.wake()
+			}
+		}
+		if ctx.EgressPort == pisa.PortDrop {
+			s.stats.PipelineDrops++
+			if s.OnDrop != nil {
+				s.OnDrop(pkt, "egress-drop")
+			}
+			s.pump(port)
+			return
+		}
+	}
+	if !s.linkUp[port] {
+		s.stats.TxDroppedLinkDown++
+		if s.OnDrop != nil {
+			s.OnDrop(pkt, "link-down")
+		}
+		s.pump(port)
+		return
+	}
+	s.txBusy[port] = true
+	ser := s.cfg.LineRate.ByteTime(pkt.Len() + WireOverhead)
+	s.sched.After(ser, func() {
+		s.txBusy[port] = false
+		s.stats.TxPackets++
+		s.stats.TxBytes += uint64(pkt.Len())
+		s.pushEvent(events.Event{
+			Kind: events.PacketTransmitted, When: s.sched.Now(),
+			Port: port, PktLen: pkt.Len(),
+		})
+		if s.OnTransmit != nil {
+			s.OnTransmit(port, pkt)
+		}
+		s.pump(port)
+	})
+}
+
+// flowHashOf computes the flow hash of a frame, or 0 for non-IP frames.
+func flowHashOf(data []byte) uint64 {
+	if f, ok := packet.FlowOf(data); ok {
+		return f.Hash()
+	}
+	return 0
+}
+
+// EventQueueLen reports the occupancy of the merger FIFO for a kind
+// (monitoring).
+func (s *Switch) EventQueueLen(k events.Kind) int { return s.evq[k].Len() }
+
+// EventQueueDrops reports FIFO-full losses for a kind.
+func (s *Switch) EventQueueDrops(k events.Kind) uint64 { return s.evq[k].Drops() }

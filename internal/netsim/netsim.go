@@ -1,0 +1,263 @@
+// Package netsim wires switches (internal/core) and hosts into a network:
+// links with propagation latency, host endpoints, and fault injection
+// (link failures raise LinkStatusChange events in the attached switches).
+// The multi-switch experiments — HULA probing, fast re-route, liveness
+// monitoring — run on netsim topologies.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// endpoint is one side of a link.
+type endpoint struct {
+	sw   *core.Switch
+	port int
+	host *Host
+}
+
+func (e endpoint) String() string {
+	if e.host != nil {
+		return e.host.Name
+	}
+	return fmt.Sprintf("%s:%d", e.sw.Name(), e.port)
+}
+
+// Link is a point-to-point connection between two endpoints. Packet
+// serialization is modeled by the transmitting device (switch TX or host
+// NIC); the link adds propagation latency and can be failed.
+type Link struct {
+	net     *Network
+	a, b    endpoint
+	latency sim.Time
+	up      bool
+
+	// Delivered counts packets that traversed the link in either
+	// direction; Lost counts packets dropped mid-flight or sent while
+	// the link was down.
+	Delivered uint64
+	Lost      uint64
+}
+
+// Up reports the link state.
+func (l *Link) Up() bool { return l.up }
+
+// String describes the link.
+func (l *Link) String() string { return fmt.Sprintf("%v<->%v", l.a, l.b) }
+
+// Host is a simple endpoint: it receives frames (with an optional
+// callback) and can send frames into its attached switch port after NIC
+// serialization.
+type Host struct {
+	Name string
+	MAC  packet.MAC
+	IP   packet.IP
+
+	// OnRecv, when set, observes every delivered frame.
+	OnRecv func(data []byte)
+
+	// RxPackets and RxBytes count deliveries.
+	RxPackets, RxBytes uint64
+
+	net  *Network
+	link *Link
+	rate sim.Rate
+	busy sim.Time // NIC busy-until for serialization
+}
+
+// Send transmits a frame from the host into the network, honoring NIC
+// serialization at the attached link's rate. Frames sent while the link
+// is down are lost.
+func (h *Host) Send(data []byte) {
+	if h.link == nil {
+		panic("netsim: host " + h.Name + " is not attached")
+	}
+	now := h.net.sched.Now()
+	start := now
+	if h.busy > start {
+		start = h.busy
+	}
+	ser := h.rate.ByteTime(len(data) + core.WireOverhead)
+	h.busy = start + ser
+	h.net.sched.At(h.busy, func() {
+		h.net.deliver(h.link, endpoint{host: h}, data)
+	})
+}
+
+func (h *Host) receive(data []byte) {
+	h.RxPackets++
+	h.RxBytes += uint64(len(data))
+	if h.OnRecv != nil {
+		h.OnRecv(data)
+	}
+}
+
+// Network is a collection of switches, hosts and links on one scheduler.
+type Network struct {
+	sched    *sim.Scheduler
+	switches []*core.Switch
+	hosts    []*Host
+	links    []*Link
+	// byPort finds the link attached to a switch port.
+	byPort map[*core.Switch]map[int]*Link
+	taps   map[*core.Switch]func(port int, data []byte)
+}
+
+// New builds an empty network.
+func New(sched *sim.Scheduler) *Network {
+	return &Network{
+		sched:  sched,
+		byPort: make(map[*core.Switch]map[int]*Link),
+		taps:   make(map[*core.Switch]func(int, []byte)),
+	}
+}
+
+// Scheduler returns the network's scheduler.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// AddSwitch registers a switch and takes over its OnTransmit hook so
+// transmitted packets traverse the attached links.
+func (n *Network) AddSwitch(sw *core.Switch) {
+	n.switches = append(n.switches, sw)
+	n.byPort[sw] = make(map[int]*Link)
+	sw.OnTransmit = func(port int, pkt *packet.Packet) {
+		if tap := n.taps[sw]; tap != nil {
+			tap(port, pkt.Data)
+		}
+		if l := n.byPort[sw][port]; l != nil {
+			n.deliver(l, endpoint{sw: sw, port: port}, pkt.Data)
+		}
+	}
+}
+
+// TapTransmit registers an observer for a switch's transmissions without
+// disturbing link delivery (a switch's OnTransmit hook is owned by the
+// network once added).
+func (n *Network) TapTransmit(sw *core.Switch, f func(port int, data []byte)) {
+	n.taps[sw] = f
+}
+
+// Switches lists the registered switches.
+func (n *Network) Switches() []*core.Switch { return n.switches }
+
+// NewHost creates a host with a derived MAC.
+func (n *Network) NewHost(name string, ip packet.IP) *Host {
+	h := &Host{
+		Name: name,
+		MAC:  packet.MACFromUint64(0x0200_0000_0000 | uint64(len(n.hosts)+1)),
+		IP:   ip,
+		net:  n,
+	}
+	n.hosts = append(n.hosts, h)
+	return h
+}
+
+func (n *Network) addLink(a, b endpoint, latency sim.Time) *Link {
+	l := &Link{net: n, a: a, b: b, latency: latency, up: true}
+	n.links = append(n.links, l)
+	if a.sw != nil {
+		n.byPort[a.sw][a.port] = l
+	}
+	if b.sw != nil {
+		n.byPort[b.sw][b.port] = l
+	}
+	return l
+}
+
+// Connect joins two switch ports with a link of the given propagation
+// latency.
+func (n *Network) Connect(s1 *core.Switch, p1 int, s2 *core.Switch, p2 int, latency sim.Time) *Link {
+	return n.addLink(endpoint{sw: s1, port: p1}, endpoint{sw: s2, port: p2}, latency)
+}
+
+// Attach joins a host to a switch port. rate is the host NIC rate
+// (defaults to the switch's line rate when zero).
+func (n *Network) Attach(h *Host, sw *core.Switch, port int, latency sim.Time) *Link {
+	h.rate = sw.Config().LineRate
+	l := n.addLink(endpoint{host: h}, endpoint{sw: sw, port: port}, latency)
+	h.link = l
+	return l
+}
+
+// deliver carries a frame across a link from the given source endpoint.
+func (n *Network) deliver(l *Link, from endpoint, data []byte) {
+	if !l.up {
+		l.Lost++
+		return
+	}
+	to := l.b
+	if from == l.b {
+		to = l.a
+	}
+	n.sched.After(l.latency, func() {
+		if !l.up {
+			l.Lost++
+			return
+		}
+		l.Delivered++
+		switch {
+		case to.host != nil:
+			to.host.receive(data)
+		default:
+			to.sw.Inject(to.port, data)
+		}
+	})
+}
+
+// Fail takes a link down. Both attached switches see a LinkStatusChange
+// event; in-flight and future packets are lost until Repair.
+func (n *Network) Fail(l *Link) {
+	if !l.up {
+		return
+	}
+	l.up = false
+	if l.a.sw != nil {
+		l.a.sw.SetLink(l.a.port, false)
+	}
+	if l.b.sw != nil {
+		l.b.sw.SetLink(l.b.port, false)
+	}
+}
+
+// Repair brings a link back up.
+func (n *Network) Repair(l *Link) {
+	if l.up {
+		return
+	}
+	l.up = true
+	if l.a.sw != nil {
+		l.a.sw.SetLink(l.a.port, true)
+	}
+	if l.b.sw != nil {
+		l.b.sw.SetLink(l.b.port, true)
+	}
+}
+
+// ConnectLeafSpine wires a two-level fabric: tor[i]'s port 1+j connects
+// to spine[j]'s port i, for every ToR i and spine j (ToR port 0 is left
+// free for hosts). It panics when a switch has too few ports.
+func (n *Network) ConnectLeafSpine(tors, spines []*core.Switch, latency sim.Time) {
+	for i, tor := range tors {
+		if tor.Config().Ports < 1+len(spines) {
+			panic(fmt.Sprintf("netsim: ToR %s has %d ports, needs %d",
+				tor.Name(), tor.Config().Ports, 1+len(spines)))
+		}
+		for j, spine := range spines {
+			if spine.Config().Ports < len(tors) {
+				panic(fmt.Sprintf("netsim: spine %s has %d ports, needs %d",
+					spine.Name(), spine.Config().Ports, len(tors)))
+			}
+			n.Connect(tor, 1+j, spine, i, latency)
+		}
+	}
+}
+
+// Links lists all links.
+func (n *Network) Links() []*Link { return n.links }
+
+// LinkAt returns the link on a switch port, or nil.
+func (n *Network) LinkAt(sw *core.Switch, port int) *Link { return n.byPort[sw][port] }

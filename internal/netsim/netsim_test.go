@@ -1,0 +1,172 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/packet"
+	"repro/internal/pisa"
+	"repro/internal/sim"
+)
+
+// fwdTo returns a program forwarding every packet to a fixed port.
+func fwdTo(port int) *pisa.Program {
+	p := pisa.NewProgram("fwd")
+	p.HandleFunc(events.IngressPacket, func(ctx *pisa.Context) { ctx.EgressPort = port })
+	return p
+}
+
+func testFrame(n int) []byte {
+	return packet.BuildFrame(packet.FrameSpec{
+		Flow: packet.Flow{
+			Src: packet.IP4(10, 0, 0, 1), Dst: packet.IP4(10, 0, 0, 2),
+			SrcPort: 1, DstPort: 2, Proto: packet.ProtoUDP,
+		},
+		TotalLen: n,
+	})
+}
+
+func TestHostToHostThroughTwoSwitches(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := New(sched)
+	s1 := core.New(core.Config{Name: "s1"}, core.Baseline(), sched)
+	s2 := core.New(core.Config{Name: "s2"}, core.Baseline(), sched)
+	s1.MustLoad(fwdTo(1)) // host on port 0, uplink on port 1
+	s2.MustLoad(fwdTo(0)) // uplink on port 1, host on port 0
+	net.AddSwitch(s1)
+	net.AddSwitch(s2)
+
+	h1 := net.NewHost("h1", packet.IP4(10, 0, 0, 1))
+	h2 := net.NewHost("h2", packet.IP4(10, 0, 0, 2))
+	net.Attach(h1, s1, 0, 100*sim.Nanosecond)
+	net.Attach(h2, s2, 0, 100*sim.Nanosecond)
+	net.Connect(s1, 1, s2, 1, sim.Microsecond)
+
+	var got [][]byte
+	h2.OnRecv = func(d []byte) { got = append(got, d) }
+	h1.Send(testFrame(200))
+	h1.Send(testFrame(300))
+	sched.Run(10 * sim.Millisecond)
+
+	if len(got) != 2 {
+		t.Fatalf("h2 received %d frames, want 2", len(got))
+	}
+	if h2.RxBytes != 500 {
+		t.Errorf("rx bytes = %d", h2.RxBytes)
+	}
+	if len(got[0]) != 200 || len(got[1]) != 300 {
+		t.Errorf("frame sizes = %d,%d", len(got[0]), len(got[1]))
+	}
+}
+
+func TestHostNICSerialization(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := New(sched)
+	sw := core.New(core.Config{Name: "s", LineRate: sim.Gbps}, core.Baseline(), sched)
+	sw.MustLoad(fwdTo(1))
+	net.AddSwitch(sw)
+	h := net.NewHost("h", packet.IP4(1, 0, 0, 1))
+	net.Attach(h, sw, 0, 0)
+
+	// Two back-to-back sends must be spaced by NIC serialization.
+	h.Send(testFrame(1000)) // (1000+24)*8 bits at 1G = 8192 ns
+	h.Send(testFrame(1000))
+	var arrivals []sim.Time
+	sink := net.NewHost("sink", packet.IP4(1, 0, 0, 2))
+	net.Attach(sink, sw, 1, 0)
+	sink.OnRecv = func([]byte) { arrivals = append(arrivals, sched.Now()) }
+	sched.Run(sim.Millisecond)
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %d", len(arrivals))
+	}
+	gap := arrivals[1] - arrivals[0]
+	if gap < 8*sim.Microsecond {
+		t.Errorf("arrival gap %v, want >= 8.192us (NIC serialized)", gap)
+	}
+}
+
+func TestLinkFailureRaisesEventsAndDropsTraffic(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := New(sched)
+	s1 := core.New(core.Config{Name: "s1"}, core.EventDriven(), sched)
+	s2 := core.New(core.Config{Name: "s2"}, core.EventDriven(), sched)
+	p1 := fwdTo(1)
+	var s1Changes []events.Event
+	p1.HandleFunc(events.LinkStatusChange, func(ctx *pisa.Context) {
+		s1Changes = append(s1Changes, ctx.Ev)
+	})
+	s1.MustLoad(p1)
+	s2.MustLoad(fwdTo(0))
+	net.AddSwitch(s1)
+	net.AddSwitch(s2)
+	h1 := net.NewHost("h1", packet.IP4(1, 0, 0, 1))
+	h2 := net.NewHost("h2", packet.IP4(1, 0, 0, 2))
+	net.Attach(h1, s1, 0, 0)
+	net.Attach(h2, s2, 0, 0)
+	l := net.Connect(s1, 1, s2, 1, 100*sim.Nanosecond)
+
+	sched.At(sim.Microsecond, func() { h1.Send(testFrame(100)) })
+	sched.At(sim.Millisecond, func() { net.Fail(l) })
+	sched.At(2*sim.Millisecond, func() { h1.Send(testFrame(100)) }) // lost
+	sched.At(3*sim.Millisecond, func() { net.Repair(l) })
+	sched.At(4*sim.Millisecond, func() { h1.Send(testFrame(100)) })
+	sched.Run(10 * sim.Millisecond)
+
+	if h2.RxPackets != 2 {
+		t.Errorf("h2 received %d, want 2 (one lost during failure)", h2.RxPackets)
+	}
+	if len(s1Changes) != 2 {
+		t.Fatalf("s1 saw %d link events, want 2", len(s1Changes))
+	}
+	if s1Changes[0].Up || s1Changes[0].Port != 1 {
+		t.Errorf("first change = %+v", s1Changes[0])
+	}
+	if !s1Changes[1].Up {
+		t.Errorf("second change = %+v", s1Changes[1])
+	}
+	if s1.Stats().TxDroppedLinkDown == 0 {
+		t.Error("s1 counted no link-down TX drops")
+	}
+}
+
+func TestPropagationLatency(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := New(sched)
+	sw := core.New(core.Config{Name: "s"}, core.Baseline(), sched)
+	sw.MustLoad(fwdTo(1))
+	net.AddSwitch(sw)
+	h1 := net.NewHost("h1", packet.IP4(1, 0, 0, 1))
+	h2 := net.NewHost("h2", packet.IP4(1, 0, 0, 2))
+	net.Attach(h1, sw, 0, 5*sim.Microsecond)
+	net.Attach(h2, sw, 1, 5*sim.Microsecond)
+	var at sim.Time
+	h2.OnRecv = func([]byte) { at = sched.Now() }
+	h1.Send(testFrame(60))
+	sched.Run(sim.Millisecond)
+	if at < 10*sim.Microsecond {
+		t.Errorf("delivery at %v, want >= 10us of propagation", at)
+	}
+}
+
+func TestLinkAt(t *testing.T) {
+	sched := sim.NewScheduler()
+	net := New(sched)
+	s1 := core.New(core.Config{Name: "s1"}, core.Baseline(), sched)
+	s2 := core.New(core.Config{Name: "s2"}, core.Baseline(), sched)
+	net.AddSwitch(s1)
+	net.AddSwitch(s2)
+	l := net.Connect(s1, 2, s2, 3, 0)
+	if net.LinkAt(s1, 2) != l || net.LinkAt(s2, 3) != l {
+		t.Error("LinkAt lookup failed")
+	}
+	if net.LinkAt(s1, 0) != nil {
+		t.Error("phantom link")
+	}
+	if len(net.Links()) != 1 || len(net.Switches()) != 2 {
+		t.Error("registry wrong")
+	}
+	if l.String() == "" {
+		t.Error("empty link name")
+	}
+}

@@ -1,0 +1,217 @@
+package p4
+
+// AST node definitions. The tree is produced by the parser, resolved and
+// checked by the checker, and walked by the interpreter.
+
+// File is a parsed µP4 source file.
+type File struct {
+	Consts    []*ConstDecl
+	Registers []*RegisterDecl
+	Counters  []*CounterDecl
+	Actions   []*ActionDecl
+	Tables    []*TableDecl
+	Controls  []*ControlDecl
+}
+
+// ConstDecl is `const NAME = expr;`.
+type ConstDecl struct {
+	Pos   Pos
+	Name  string
+	Value Expr
+
+	val uint64 // filled by the checker
+}
+
+// RegisterDecl is `shared_register<bit<W>>(SIZE) name;` (or `register`,
+// a synonym).
+type RegisterDecl struct {
+	Pos   Pos
+	Name  string
+	Width int
+	Size  Expr
+
+	size int // resolved
+}
+
+// CounterDecl is `counter(SIZE) name;`.
+type CounterDecl struct {
+	Pos  Pos
+	Name string
+	Size Expr
+
+	size int
+}
+
+// ActionDecl is `action name(p1, p2) { stmts }`.
+type ActionDecl struct {
+	Pos    Pos
+	Name   string
+	Params []string
+	Body   []Stmt
+}
+
+// TableKey is one key field of a table: an expression and a match kind.
+type TableKey struct {
+	Pos   Pos
+	Expr  Expr
+	Match string // "exact" | "lpm" | "ternary"
+}
+
+// TableDecl is a match-action table declaration.
+type TableDecl struct {
+	Pos           Pos
+	Name          string
+	Keys          []TableKey
+	Actions       []string
+	DefaultAction string
+	DefaultArgs   []Expr
+}
+
+// ControlDecl is `control Name { locals... apply { stmts } }`.
+type ControlDecl struct {
+	Pos    Pos
+	Name   string
+	Locals []*LocalDecl
+	Body   []Stmt
+
+	frameSize int // locals + action params, assigned by the checker
+}
+
+// LocalDecl is `bit<W> name;` inside a control.
+type LocalDecl struct {
+	Pos   Pos
+	Name  string
+	Width int
+
+	slot int
+}
+
+// Stmt is a statement.
+type Stmt interface{ stmtPos() Pos }
+
+// AssignStmt is `lhs = expr;` where lhs is a local variable.
+type AssignStmt struct {
+	Pos  Pos
+	Name string
+	Expr Expr
+
+	slot  int
+	width int
+}
+
+func (s *AssignStmt) stmtPos() Pos { return s.Pos }
+
+// IfStmt is `if (cond) { ... } else { ... }`.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // nil if absent
+}
+
+func (s *IfStmt) stmtPos() Pos { return s.Pos }
+
+// ReturnStmt is `return;`: it ends the enclosing control's apply block
+// (or the enclosing action) immediately.
+type ReturnStmt struct {
+	Pos Pos
+}
+
+func (s *ReturnStmt) stmtPos() Pos { return s.Pos }
+
+// CallStmt is a primitive call (`forward(1);`), an extern method call
+// (`reg.read(i, dst);`), or a table apply (`tbl.apply();`).
+type CallStmt struct {
+	Pos    Pos
+	Recv   string // "" for primitives
+	Method string
+	Args   []Expr
+
+	kind    callKind
+	reg     int // register index for register methods
+	cnt     int // counter index
+	tbl     int // table index
+	arg0Out int // output slot for reg.read's destination local
+}
+
+func (s *CallStmt) stmtPos() Pos { return s.Pos }
+
+// callKind discriminates resolved call statements.
+type callKind uint8
+
+const (
+	callPrimitive callKind = iota
+	callRegRead
+	callRegWrite
+	callRegAdd
+	callCounterCount
+	callTableApply
+)
+
+// Expr is an expression.
+type Expr interface{ exprPos() Pos }
+
+// NumExpr is an integer literal.
+type NumExpr struct {
+	Pos Pos
+	Val uint64
+}
+
+func (e *NumExpr) exprPos() Pos { return e.Pos }
+
+// IdentExpr is a bare identifier: a local, action parameter, or constant.
+type IdentExpr struct {
+	Pos  Pos
+	Name string
+
+	kind identKind
+	slot int    // local/param slot
+	val  uint64 // constant value
+}
+
+func (e *IdentExpr) exprPos() Pos { return e.Pos }
+
+type identKind uint8
+
+const (
+	identLocal identKind = iota
+	identConst
+)
+
+// FieldExpr is a dotted path: hdr.ip.src, ev.pkt_len, std.ingress_port.
+type FieldExpr struct {
+	Pos  Pos
+	Path string // full dotted path
+
+	field fieldID
+}
+
+func (e *FieldExpr) exprPos() Pos { return e.Pos }
+
+// UnaryExpr is -x, !x or ~x.
+type UnaryExpr struct {
+	Pos Pos
+	Op  tokKind
+	X   Expr
+}
+
+func (e *UnaryExpr) exprPos() Pos { return e.Pos }
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	Pos  Pos
+	Op   tokKind
+	L, R Expr
+}
+
+func (e *BinExpr) exprPos() Pos { return e.Pos }
+
+// CallExpr is a builtin expression function: min(a,b), max(a,b),
+// saturating subtraction ssub(a,b).
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+func (e *CallExpr) exprPos() Pos { return e.Pos }

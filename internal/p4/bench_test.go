@@ -1,0 +1,57 @@
+package p4
+
+import (
+	"testing"
+
+	"repro/internal/events"
+	"repro/internal/packet"
+	"repro/internal/pisa"
+)
+
+// Micro-benchmarks for the µP4 interpreter's per-slot cost.
+
+func benchInstance(b *testing.B, src string) (*Instance, *pisa.Context) {
+	b.Helper()
+	inst := MustCompile(src).Instantiate("bench", Options{})
+	data := packet.BuildFrame(packet.FrameSpec{Flow: packet.Flow{
+		Src: packet.IP4(10, 0, 0, 1), Dst: packet.IP4(10, 0, 0, 2),
+		SrcPort: 5, DstPort: 6, Proto: packet.ProtoUDP,
+	}, TotalLen: 200})
+	ctx := &pisa.Context{}
+	ctx.Reset(&packet.Packet{Data: data}, events.Event{Kind: events.IngressPacket, FlowHash: 77}, 0, 1)
+	_ = ctx.Parsed.Decode(data, &ctx.Decoded)
+	return inst, ctx
+}
+
+func BenchmarkInterpForward(b *testing.B) {
+	inst, ctx := benchInstance(b, `control Ingress { apply { forward(1); } }`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Cycle = uint64(i + 1)
+		inst.Program().Apply(ctx)
+	}
+}
+
+func BenchmarkInterpMicroburstIngress(b *testing.B) {
+	inst, ctx := benchInstance(b, Programs["microburst"])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Cycle = uint64(i + 1)
+		inst.Program().Tick(ctx.Cycle)
+		inst.Program().Apply(ctx)
+		inst.Program().EndCycle()
+	}
+}
+
+func BenchmarkCompileMicroburst(b *testing.B) {
+	src := Programs["microburst"]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package p4
+
+// Programs is a library of complete µP4 example programs, each
+// exercising a different slice of the event-driven programming model.
+// They double as documentation of the language and as compiler test
+// fixtures; see programs_test.go for each program running on a switch.
+var Programs = map[string]string{
+	// Microburst is the paper's §2 running example: per-flow buffer
+	// occupancy from enqueue/dequeue events, read in ingress.
+	"microburst": `
+const NUM_REGS = 1024;
+const FLOW_THRESH = 15000;
+
+shared_register<bit<32>>(NUM_REGS) bufSize_reg;
+
+control Ingress {
+    bit<32> bufSize;
+    apply {
+        bufSize_reg.read(ev.flow_id % NUM_REGS, bufSize);
+        if (bufSize > FLOW_THRESH) {
+            raise(ev.flow_id);   // microburst culprit!
+        }
+        forward(1);
+    }
+}
+
+control Enqueue {
+    apply { bufSize_reg.add(ev.flow_id % NUM_REGS, ev.pkt_len); }
+}
+
+control Dequeue {
+    apply { bufSize_reg.add(ev.flow_id % NUM_REGS, 0 - ev.pkt_len); }
+}
+
+control UserEvent {
+    apply { no_op(); }
+}
+`,
+
+	// RateLimiter is the paper's §3 Traffic Management point: a
+	// token-bucket policer built from plain registers and timer events
+	// instead of a fixed-function meter extern. Timer 0 refills every
+	// bucket; packets spend tokens or drop.
+	"ratelimiter": `
+const BUCKETS = 256;
+const BURST = 3000;
+const REFILL = 100;        // bytes added per timer tick per bucket
+
+shared_register<bit<32>>(BUCKETS) tokens;
+shared_register<bit<32>>(1) cursor;
+
+control Ingress {
+    bit<32> have;
+    bit<32> slot;
+    apply {
+        slot = ev.flow_id % BUCKETS;
+        tokens.read(slot, have);
+        if (have < ev.pkt_len) {
+            drop();
+        } else {
+            tokens.add(slot, 0 - ev.pkt_len);
+            forward(1);
+        }
+    }
+}
+
+control Timer {
+    bit<32> i;
+    bit<32> have;
+    apply {
+        // The timer thread refills one bucket per expiration, walking
+        // the array with a cursor register — the hardware-realistic
+        // sweep (arm the timer at period/BUCKETS for a full refill
+        // rate of REFILL per bucket per period).
+        cursor.read(0, i);
+        tokens.read(i % BUCKETS, have);
+        tokens.add(i % BUCKETS, min(REFILL, ssub(BURST, have)));
+        cursor.write(0, i + 1);
+    }
+}
+`,
+
+	// Router is a classic LPM forwarder plus a per-port byte counter:
+	// tables, actions, and counters together.
+	"router": `
+counter(16) port_bytes;
+
+action set_egress(port) {
+    forward(port);
+}
+
+action drop_pkt() {
+    drop();
+}
+
+table ipv4_lpm {
+    key = { hdr.ip.dst : lpm; }
+    actions = { set_egress; drop_pkt; }
+    default_action = drop_pkt();
+}
+
+control Ingress {
+    apply {
+        if (hdr.ip.valid == 1) {
+            ipv4_lpm.apply();
+            port_bytes.count(std.ingress_port, std.pkt_len);
+        } else {
+            drop();
+        }
+    }
+}
+`,
+
+	// HeavyHitter flags flows whose byte count crosses a threshold
+	// within a timer-reset window — the §1 CMS-reset pattern with a
+	// direct-indexed register standing in for the sketch row.
+	"heavyhitter": `
+const SLOTS = 512;
+const THRESH = 100000;
+
+shared_register<bit<32>>(SLOTS) bytes_reg;
+shared_register<bit<32>>(1) sweep;
+
+control Ingress {
+    bit<32> total;
+    bit<32> slot;
+    apply {
+        slot = ev.flow_id % SLOTS;
+        bytes_reg.read(slot, total);
+        if (total + ev.pkt_len > THRESH) {
+            raise(ev.flow_id);          // heavy hitter this window
+        }
+        bytes_reg.add(slot, ev.pkt_len);
+        forward(1);
+    }
+}
+
+control Timer {
+    bit<32> i;
+    apply {
+        // Window reset from the data plane: zero one slot per tick
+        // (arm the timer at window/SLOTS for a full sweep per window).
+        sweep.read(0, i);
+        bytes_reg.write(i % SLOTS, 0);
+        sweep.write(0, i + 1);
+    }
+}
+
+control UserEvent {
+    apply { no_op(); }
+}
+`,
+
+	// LinkWatch reports link flaps to a collector on port 0 and keeps a
+	// per-port up/down register other controls could consult.
+	"linkwatch": `
+shared_register<bit<8>>(16) link_up;
+
+control Ingress {
+    apply { forward(std.ingress_port ^ 1); }
+}
+
+control LinkChange {
+    apply {
+        link_up.write(ev.port % 16, ev.link_up);
+        emit_report(0, 6, ev.port, ev.link_up);   // ReportLinkStatus
+    }
+}
+`,
+
+	// ECNMark stamps departing packets with the max of their current
+	// TOS and this switch's quantized egress occupancy — the §3
+	// multi-bit ECN variant, using the set_tos primitive.
+	"ecnmark": `
+const QUANTUM = 4096;
+
+shared_register<bit<32>>(8) occ;
+
+control Ingress {
+    bit<32> level;
+    apply {
+        occ.read(1, level);
+        level = min(level / QUANTUM, 255);
+        if (level > hdr.ip.tos) {
+            set_tos(level);
+        }
+        forward(1);
+    }
+}
+
+control Enqueue {
+    apply { occ.add(ev.port % 8, ev.pkt_len); }
+}
+
+control Dequeue {
+    apply { occ.add(ev.port % 8, 0 - ev.pkt_len); }
+}
+`,
+
+	// QueueReport aggregates enqueue/dequeue activity and reports the
+	// occupancy to a monitor every timer tick — the §5 "Computing
+	// Congestion Signals" reporting path, entirely in the data plane.
+	"queuereport": `
+shared_register<bit<32>>(4) occ;
+
+control Ingress {
+    apply { forward(1); }
+}
+
+control Enqueue {
+    apply { occ.add(ev.port % 4, ev.pkt_len); }
+}
+
+control Dequeue {
+    apply { occ.add(ev.port % 4, 0 - ev.pkt_len); }
+}
+
+control Timer {
+    bit<32> q1;
+    apply {
+        occ.read(1, q1);
+        emit_report(3, 2, q1);    // ReportBufferSample for port 1
+    }
+}
+`,
+}

@@ -1,0 +1,369 @@
+// Package p4 implements µP4, a compact P4-16-inspired language for
+// writing event-driven data-plane programs, together with its compiler
+// and interpreter. µP4 is the "thin P4 tooling" substitution for the
+// paper's P4 + Xilinx SDNet toolchain (DESIGN.md §2): it expresses
+// exactly the programming model the paper proposes — controls bound to
+// data-plane events, shared_register externs whose event-thread updates
+// aggregate per Figure 3, match-action tables, and the hash extern — and
+// compiles to handlers executed by the pisa/core pipeline model.
+//
+// The paper's running example compiles directly:
+//
+//	const NUM_REGS = 1024;
+//	const FLOW_THRESH = 15000;
+//
+//	shared_register<bit<32>>(NUM_REGS) bufSize_reg;
+//
+//	control Ingress {
+//	    bit<32> bufSize;
+//	    bit<32> flowID;
+//	    apply {
+//	        hash(flowID, hdr.ip.src, hdr.ip.dst);
+//	        bufSize_reg.read(flowID, bufSize);
+//	        if (bufSize > FLOW_THRESH) {
+//	            raise(flowID);      // microburst culprit!
+//	        }
+//	        forward(1);
+//	    }
+//	}
+//
+//	control Enqueue {
+//	    apply { bufSize_reg.add(ev.flow_id, ev.pkt_len); }
+//	}
+//
+//	control Dequeue {
+//	    apply { bufSize_reg.add(ev.flow_id, 0 - ev.pkt_len); }
+//	}
+package p4
+
+import "fmt"
+
+// tokKind enumerates token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+
+	// Punctuation.
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokLAngle // <
+	tokRAngle // >
+	tokSemi
+	tokComma
+	tokColon
+	tokDot
+	tokAssign // =
+
+	// Operators.
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokPercent
+	tokAmp
+	tokPipe
+	tokCaret
+	tokTilde
+	tokBang
+	tokShl    // <<
+	tokShr    // >>
+	tokEq     // ==
+	tokNeq    // !=
+	tokLe     // <=
+	tokGe     // >=
+	tokAndAnd // &&
+	tokOrOr   // ||
+
+	// Keywords.
+	tokConst
+	tokControl
+	tokApply
+	tokIf
+	tokElse
+	tokBit
+	tokTable
+	tokKey
+	tokActions
+	tokDefaultAction
+	tokAction
+	tokExact
+	tokLpm
+	tokTernary
+	tokSharedRegister
+	tokRegister
+	tokCounter
+	tokReturn
+)
+
+var keywords = map[string]tokKind{
+	"const":           tokConst,
+	"control":         tokControl,
+	"apply":           tokApply,
+	"if":              tokIf,
+	"else":            tokElse,
+	"bit":             tokBit,
+	"table":           tokTable,
+	"key":             tokKey,
+	"actions":         tokActions,
+	"default_action":  tokDefaultAction,
+	"action":          tokAction,
+	"exact":           tokExact,
+	"lpm":             tokLpm,
+	"ternary":         tokTernary,
+	"shared_register": tokSharedRegister,
+	"register":        tokRegister,
+	"counter":         tokCounter,
+	"return":          tokReturn,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String formats the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// token is one lexeme.
+type token struct {
+	kind tokKind
+	text string
+	num  uint64
+	pos  Pos
+}
+
+func (t token) String() string {
+	if t.text != "" {
+		return t.text
+	}
+	return fmt.Sprintf("token(%d)", t.kind)
+}
+
+// Error is a compile error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer turns source text into tokens.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peekc() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) nextc() byte {
+	c := l.peekc()
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdent(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// skipSpace consumes whitespace and // and /* */ comments.
+func (l *lexer) skipSpace() error {
+	for {
+		c := l.peekc()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.nextc()
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/':
+			for l.peekc() != 0 && l.peekc() != '\n' {
+				l.nextc()
+			}
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '*':
+			start := l.pos()
+			l.nextc()
+			l.nextc()
+			for {
+				if l.peekc() == 0 {
+					return errf(start, "unterminated block comment")
+				}
+				if l.peekc() == '*' && l.off+1 < len(l.src) && l.src[l.off+1] == '/' {
+					l.nextc()
+					l.nextc()
+					break
+				}
+				l.nextc()
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpace(); err != nil {
+		return token{}, err
+	}
+	pos := l.pos()
+	c := l.peekc()
+	if c == 0 {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for isIdent(l.peekc()) {
+			l.nextc()
+		}
+		text := l.src[start:l.off]
+		if k, ok := keywords[text]; ok {
+			return token{kind: k, text: text, pos: pos}, nil
+		}
+		return token{kind: tokIdent, text: text, pos: pos}, nil
+	case isDigit(c):
+		start := l.off
+		var v uint64
+		if c == '0' && l.off+1 < len(l.src) && (l.src[l.off+1] == 'x' || l.src[l.off+1] == 'X') {
+			l.nextc()
+			l.nextc()
+			if !isHex(l.peekc()) {
+				return token{}, errf(pos, "malformed hex literal")
+			}
+			for isHex(l.peekc()) || l.peekc() == '_' {
+				d := l.nextc()
+				if d == '_' {
+					continue
+				}
+				var dv uint64
+				switch {
+				case d >= '0' && d <= '9':
+					dv = uint64(d - '0')
+				case d >= 'a' && d <= 'f':
+					dv = uint64(d-'a') + 10
+				default:
+					dv = uint64(d-'A') + 10
+				}
+				v = v<<4 | dv
+			}
+		} else {
+			for isDigit(l.peekc()) || l.peekc() == '_' {
+				d := l.nextc()
+				if d == '_' {
+					continue
+				}
+				v = v*10 + uint64(d-'0')
+			}
+		}
+		return token{kind: tokNumber, text: l.src[start:l.off], num: v, pos: pos}, nil
+	}
+	l.nextc()
+	two := func(second byte, k2, k1 tokKind) (token, error) {
+		if l.peekc() == second {
+			l.nextc()
+			return token{kind: k2, text: string([]byte{c, second}), pos: pos}, nil
+		}
+		return token{kind: k1, text: string(c), pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return token{kind: tokLParen, text: "(", pos: pos}, nil
+	case ')':
+		return token{kind: tokRParen, text: ")", pos: pos}, nil
+	case '{':
+		return token{kind: tokLBrace, text: "{", pos: pos}, nil
+	case '}':
+		return token{kind: tokRBrace, text: "}", pos: pos}, nil
+	case ';':
+		return token{kind: tokSemi, text: ";", pos: pos}, nil
+	case ',':
+		return token{kind: tokComma, text: ",", pos: pos}, nil
+	case ':':
+		return token{kind: tokColon, text: ":", pos: pos}, nil
+	case '.':
+		return token{kind: tokDot, text: ".", pos: pos}, nil
+	case '+':
+		return token{kind: tokPlus, text: "+", pos: pos}, nil
+	case '-':
+		return token{kind: tokMinus, text: "-", pos: pos}, nil
+	case '*':
+		return token{kind: tokStar, text: "*", pos: pos}, nil
+	case '/':
+		return token{kind: tokSlash, text: "/", pos: pos}, nil
+	case '%':
+		return token{kind: tokPercent, text: "%", pos: pos}, nil
+	case '~':
+		return token{kind: tokTilde, text: "~", pos: pos}, nil
+	case '^':
+		return token{kind: tokCaret, text: "^", pos: pos}, nil
+	case '&':
+		return two('&', tokAndAnd, tokAmp)
+	case '|':
+		return two('|', tokOrOr, tokPipe)
+	case '=':
+		return two('=', tokEq, tokAssign)
+	case '!':
+		return two('=', tokNeq, tokBang)
+	case '<':
+		if l.peekc() == '<' {
+			l.nextc()
+			return token{kind: tokShl, text: "<<", pos: pos}, nil
+		}
+		return two('=', tokLe, tokLAngle)
+	case '>':
+		if l.peekc() == '>' {
+			l.nextc()
+			return token{kind: tokShr, text: ">>", pos: pos}, nil
+		}
+		return two('=', tokGe, tokRAngle)
+	}
+	return token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+// lexAll tokenizes the whole source.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

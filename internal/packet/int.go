@@ -1,0 +1,164 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// In-band Network Telemetry (INT) support (paper §3 Network Monitoring:
+// "extremely fine-grain measurements made possible by In-band Network
+// Telemetry"). The wire format is a compact INT-over-UDP shim: packets
+// whose UDP destination port is INTPort carry an INT header immediately
+// after the UDP header, followed by a stack of per-hop records that each
+// transit switch pushes.
+//
+//	shim:   magic(2) hopCount(1) reserved(1)
+//	record: switchID(4) queueBytes(4) latencyNS(4) timestampNS(8)
+
+// INTPort is the UDP destination port carrying INT-instrumented traffic.
+const INTPort = 5405
+
+// intMagic marks a valid INT shim.
+const intMagic = 0x1E7A
+
+// INTShimLen and INTRecordLen are wire sizes in bytes.
+const (
+	INTShimLen   = 4
+	INTRecordLen = 20
+)
+
+// INTMaxHops bounds the record stack a packet may carry.
+const INTMaxHops = 16
+
+// INTRecord is one switch's telemetry pushed onto a transiting packet.
+type INTRecord struct {
+	SwitchID    uint32
+	QueueBytes  uint32
+	LatencyNS   uint32
+	TimestampNS uint64
+}
+
+// intShimOffset locates the INT shim in the frame, or -1 when the frame
+// is not INT traffic.
+func intShimOffset(data []byte) int {
+	off := ipOffset(data)
+	if off < 0 {
+		return -1
+	}
+	hdr := data[off:]
+	if IPProto(hdr[9]) != ProtoUDP {
+		return -1
+	}
+	ihl := int(hdr[0]&0x0f) * 4
+	udp := off + ihl
+	if len(data) < udp+UDPHeaderLen+INTShimLen {
+		return -1
+	}
+	if binary.BigEndian.Uint16(data[udp+2:udp+4]) != INTPort {
+		return -1
+	}
+	shim := udp + UDPHeaderLen
+	if binary.BigEndian.Uint16(data[shim:shim+2]) != intMagic {
+		return -1
+	}
+	return shim
+}
+
+// INTInstrument prepares an IPv4/UDP frame for telemetry collection by
+// inserting an empty INT shim after the UDP header (senders call this;
+// the UDP destination port must be INTPort). It returns the new frame.
+func INTInstrument(data []byte) ([]byte, error) {
+	off := ipOffset(data)
+	if off < 0 {
+		return nil, fmt.Errorf("packet: INTInstrument on non-IP frame")
+	}
+	hdr := data[off:]
+	if IPProto(hdr[9]) != ProtoUDP {
+		return nil, fmt.Errorf("packet: INTInstrument needs UDP")
+	}
+	ihl := int(hdr[0]&0x0f) * 4
+	udp := off + ihl
+	if binary.BigEndian.Uint16(data[udp+2:udp+4]) != INTPort {
+		return nil, fmt.Errorf("packet: INT traffic must use UDP port %d", INTPort)
+	}
+	shim := udp + UDPHeaderLen
+	out := make([]byte, 0, len(data)+INTShimLen)
+	out = append(out, data[:shim]...)
+	var sh [INTShimLen]byte
+	binary.BigEndian.PutUint16(sh[0:2], intMagic)
+	out = append(out, sh[:]...)
+	out = append(out, data[shim:]...)
+	fixLengths(out, off, udp, INTShimLen)
+	return out, nil
+}
+
+// INTPush appends a hop record to an instrumented frame in place when
+// capacity allows, reallocating otherwise. It returns the (possibly new)
+// frame and true, or the input and false for non-INT frames or a full
+// stack.
+func INTPush(data []byte, rec INTRecord) ([]byte, bool) {
+	shim := intShimOffset(data)
+	if shim < 0 {
+		return data, false
+	}
+	hops := int(data[shim+2])
+	if hops >= INTMaxHops {
+		return data, false
+	}
+	insert := shim + INTShimLen + hops*INTRecordLen
+	if insert > len(data) {
+		return data, false
+	}
+	var rb [INTRecordLen]byte
+	binary.BigEndian.PutUint32(rb[0:4], rec.SwitchID)
+	binary.BigEndian.PutUint32(rb[4:8], rec.QueueBytes)
+	binary.BigEndian.PutUint32(rb[8:12], rec.LatencyNS)
+	binary.BigEndian.PutUint64(rb[12:20], rec.TimestampNS)
+
+	out := make([]byte, 0, len(data)+INTRecordLen)
+	out = append(out, data[:insert]...)
+	out = append(out, rb[:]...)
+	out = append(out, data[insert:]...)
+	out[shim+2] = byte(hops + 1)
+
+	off := ipOffset(out)
+	ihl := int(out[off]&0x0f) * 4
+	fixLengths(out, off, off+ihl, INTRecordLen)
+	return out, true
+}
+
+// INTRecords parses the hop-record stack from an instrumented frame.
+func INTRecords(data []byte) ([]INTRecord, bool) {
+	shim := intShimOffset(data)
+	if shim < 0 {
+		return nil, false
+	}
+	hops := int(data[shim+2])
+	need := shim + INTShimLen + hops*INTRecordLen
+	if need > len(data) {
+		return nil, false
+	}
+	recs := make([]INTRecord, hops)
+	for i := 0; i < hops; i++ {
+		b := data[shim+INTShimLen+i*INTRecordLen:]
+		recs[i] = INTRecord{
+			SwitchID:    binary.BigEndian.Uint32(b[0:4]),
+			QueueBytes:  binary.BigEndian.Uint32(b[4:8]),
+			LatencyNS:   binary.BigEndian.Uint32(b[8:12]),
+			TimestampNS: binary.BigEndian.Uint64(b[12:20]),
+		}
+	}
+	return recs, true
+}
+
+// fixLengths grows the IP total length and UDP length fields by delta
+// bytes and repairs the IP checksum.
+func fixLengths(data []byte, ipOff, udpOff, delta int) {
+	hdr := data[ipOff:]
+	oldLen := binary.BigEndian.Uint16(hdr[2:4])
+	newLen := oldLen + uint16(delta)
+	binary.BigEndian.PutUint16(hdr[2:4], newLen)
+	fixChecksum16(hdr, oldLen, newLen)
+	ub := data[udpOff:]
+	binary.BigEndian.PutUint16(ub[4:6], binary.BigEndian.Uint16(ub[4:6])+uint16(delta))
+}

@@ -1,0 +1,99 @@
+package packet
+
+import "testing"
+
+func intFrame(t *testing.T) []byte {
+	t.Helper()
+	data := BuildFrame(FrameSpec{Flow: Flow{
+		Src: IP4(10, 0, 0, 1), Dst: IP4(10, 9, 0, 1),
+		SrcPort: 7000, DstPort: INTPort, Proto: ProtoUDP,
+	}, TotalLen: 120})
+	out, err := INTInstrument(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestINTInstrumentAndPush(t *testing.T) {
+	data := intFrame(t)
+	recs, ok := INTRecords(data)
+	if !ok || len(recs) != 0 {
+		t.Fatalf("fresh shim: recs=%v ok=%v", recs, ok)
+	}
+	checksumOK(t, data)
+
+	for hop := uint32(1); hop <= 3; hop++ {
+		var ok bool
+		data, ok = INTPush(data, INTRecord{
+			SwitchID: hop, QueueBytes: hop * 1000, LatencyNS: hop * 10, TimestampNS: uint64(hop) * 100,
+		})
+		if !ok {
+			t.Fatalf("push %d failed", hop)
+		}
+	}
+	checksumOK(t, data)
+	recs, ok = INTRecords(data)
+	if !ok || len(recs) != 3 {
+		t.Fatalf("recs = %v", recs)
+	}
+	for i, r := range recs {
+		want := uint32(i + 1)
+		if r.SwitchID != want || r.QueueBytes != want*1000 || r.LatencyNS != want*10 ||
+			r.TimestampNS != uint64(want)*100 {
+			t.Errorf("record %d = %+v", i, r)
+		}
+	}
+	// The flow is still parseable and the UDP length consistent.
+	var p Parser
+	var dec []LayerType
+	if err := p.Decode(data, &dec); err != nil {
+		t.Fatal(err)
+	}
+	if int(p.UDP.Length) != UDPHeaderLen+INTShimLen+3*INTRecordLen+120-
+		EthernetHeaderLen-IPv4HeaderLen-UDPHeaderLen {
+		t.Errorf("udp length = %d", p.UDP.Length)
+	}
+	if fl, ok := FlowOf(data); !ok || fl.DstPort != INTPort {
+		t.Errorf("flow lost: %v", fl)
+	}
+}
+
+func TestINTNonINTFrames(t *testing.T) {
+	plain := BuildFrame(FrameSpec{Flow: Flow{
+		Src: IP4(1, 1, 1, 1), Dst: IP4(2, 2, 2, 2), SrcPort: 1, DstPort: 80, Proto: ProtoUDP,
+	}})
+	if _, ok := INTPush(plain, INTRecord{}); ok {
+		t.Error("pushed onto non-INT frame")
+	}
+	if _, ok := INTRecords(plain); ok {
+		t.Error("parsed records from non-INT frame")
+	}
+	if _, err := INTInstrument(plain); err == nil {
+		t.Error("instrumented a frame not addressed to the INT port")
+	}
+	tcp := BuildFrame(FrameSpec{Flow: Flow{
+		Src: IP4(1, 1, 1, 1), Dst: IP4(2, 2, 2, 2), SrcPort: 1, DstPort: INTPort, Proto: ProtoTCP,
+	}})
+	if _, err := INTInstrument(tcp); err == nil {
+		t.Error("instrumented TCP")
+	}
+}
+
+func TestINTStackBounded(t *testing.T) {
+	data := intFrame(t)
+	for i := 0; i < INTMaxHops; i++ {
+		var ok bool
+		data, ok = INTPush(data, INTRecord{SwitchID: uint32(i)})
+		if !ok {
+			t.Fatalf("push %d refused below the cap", i)
+		}
+	}
+	if _, ok := INTPush(data, INTRecord{}); ok {
+		t.Error("push beyond INTMaxHops accepted")
+	}
+	recs, _ := INTRecords(data)
+	if len(recs) != INTMaxHops {
+		t.Errorf("records = %d", len(recs))
+	}
+}

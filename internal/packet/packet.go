@@ -1,0 +1,169 @@
+package packet
+
+import "fmt"
+
+// Packet is a frame travelling through the simulator. The wire bytes are
+// authoritative; parsed views are produced on demand by a Parser. A Packet
+// also carries the simulator-level annotations that a real switch would
+// hold in per-packet metadata outside the P4-visible headers.
+type Packet struct {
+	// Data holds the full frame bytes (without FCS).
+	Data []byte
+
+	// InPort is the switch port the frame arrived on (-1 for packets
+	// created by the data plane's packet generator).
+	InPort int
+
+	// Empty marks a zero-length placeholder "packet" injected by the
+	// Event Merger purely to carry event metadata through the pipeline
+	// when no real packet is available (paper §5). Empty packets consume
+	// a pipeline slot but are never transmitted.
+	Empty bool
+
+	// Gen marks a packet created by the data-plane packet generator.
+	Gen bool
+
+	// Recirc counts how many times the packet has been recirculated.
+	Recirc int
+}
+
+// Len returns the frame length in bytes (0 for empty metadata carriers).
+func (p *Packet) Len() int {
+	if p == nil || p.Empty {
+		return 0
+	}
+	return len(p.Data)
+}
+
+// Clone returns a deep copy of the packet.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	q.Data = append([]byte(nil), p.Data...)
+	return &q
+}
+
+// String summarizes the packet for traces.
+func (p *Packet) String() string {
+	if p.Empty {
+		return "pkt(empty)"
+	}
+	kind := ""
+	if p.Gen {
+		kind = " gen"
+	}
+	return fmt.Sprintf("pkt(len=%d in=%d%s)", len(p.Data), p.InPort, kind)
+}
+
+// FrameSpec describes a frame to build. Zero values choose sensible
+// defaults; TotalLen pads the frame (minimum MinFrameLen enforced).
+type FrameSpec struct {
+	DstMAC, SrcMAC MAC
+	Flow           Flow
+	TotalLen       int
+	TTL            uint8
+	TCPFlags       uint8 // only for ProtoTCP
+	Seq            uint32
+	// VLAN, when non-zero, inserts an 802.1Q tag with this VID.
+	VLAN uint16
+	// PCP is the 802.1Q priority (used only when VLAN is set).
+	PCP uint8
+}
+
+// BuildFrame serializes a full Ethernet/IPv4/UDP-or-TCP frame according to
+// spec. Payload bytes are zero. The result length is max(TotalLen,
+// minimum needed, MinFrameLen).
+func BuildFrame(spec FrameSpec) []byte {
+	proto := spec.Flow.Proto
+	if proto == 0 {
+		proto = ProtoUDP
+	}
+	transportLen := UDPHeaderLen
+	if proto == ProtoTCP {
+		transportLen = TCPHeaderLen
+	}
+	vlanLen := 0
+	if spec.VLAN != 0 {
+		vlanLen = VLANHeaderLen
+	}
+	minLen := EthernetHeaderLen + vlanLen + IPv4HeaderLen + transportLen
+	total := spec.TotalLen
+	if total < minLen {
+		total = minLen
+	}
+	if total < MinFrameLen {
+		total = MinFrameLen
+	}
+	ttl := spec.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	buf := make([]byte, total)
+
+	ethType := EtherTypeIPv4
+	if spec.VLAN != 0 {
+		ethType = EtherTypeVLAN
+	}
+	eth := Ethernet{Dst: spec.DstMAC, Src: spec.SrcMAC, Type: ethType}
+	off := eth.SerializeTo(buf)
+	if spec.VLAN != 0 {
+		tag := VLAN{PCP: spec.PCP, VID: spec.VLAN, Type: EtherTypeIPv4}
+		off += tag.SerializeTo(buf[off:])
+	}
+
+	ip := IPv4{
+		TotalLen: uint16(total - EthernetHeaderLen - vlanLen),
+		TTL:      ttl,
+		Protocol: proto,
+		Src:      spec.Flow.Src,
+		Dst:      spec.Flow.Dst,
+	}
+	off += ip.SerializeTo(buf[off:])
+
+	switch proto {
+	case ProtoTCP:
+		t := TCP{
+			SrcPort: spec.Flow.SrcPort,
+			DstPort: spec.Flow.DstPort,
+			Seq:     spec.Seq,
+			Flags:   spec.TCPFlags,
+			Window:  65535,
+		}
+		t.SerializeTo(buf[off:])
+	default:
+		u := UDP{
+			SrcPort: spec.Flow.SrcPort,
+			DstPort: spec.Flow.DstPort,
+			Length:  uint16(total - EthernetHeaderLen - IPv4HeaderLen),
+		}
+		u.SerializeTo(buf[off:])
+	}
+	return buf
+}
+
+// BuildControlFrame serializes an Ethernet frame whose payload is one of
+// the custom event-protocol layers (Probe, Echo, Report) or an ARP packet.
+// The EtherType is chosen from the layer's type.
+func BuildControlFrame(dst, src MAC, layer SerializableLayer) []byte {
+	var et EtherType
+	switch layer.(type) {
+	case *Probe:
+		et = EtherTypeProbe
+	case *Echo:
+		et = EtherTypeEcho
+	case *Report:
+		et = EtherTypeReport
+	case *ARP:
+		et = EtherTypeARP
+	default:
+		panic(fmt.Sprintf("packet: BuildControlFrame of unsupported layer %T", layer))
+	}
+	total := EthernetHeaderLen + layer.SerializedLen()
+	if total < MinFrameLen {
+		total = MinFrameLen
+	}
+	buf := make([]byte, total)
+	eth := Ethernet{Dst: dst, Src: src, Type: et}
+	off := eth.SerializeTo(buf)
+	layer.SerializeTo(buf[off:])
+	return buf
+}

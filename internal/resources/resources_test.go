@@ -1,0 +1,98 @@
+package resources
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBram36For(t *testing.T) {
+	cases := []struct {
+		depth, width int
+		want         float64
+	}{
+		{1024, 96, 3}, // 98304 bits -> 3 tiles
+		{512, 96, 2},  // 49152 bits -> 2 tiles
+		{16, 8, 1},    // tiny FIFO still costs one tile
+		{1024, 36, 1}, // exactly 36Kb
+		{1025, 36, 2}, // one bit over
+	}
+	for _, c := range cases {
+		if got := bram36For(c.depth, c.width); got != c.want {
+			t.Errorf("bram36For(%d,%d) = %v, want %v", c.depth, c.width, got, c.want)
+		}
+	}
+}
+
+func TestInventoryTotals(t *testing.T) {
+	var inv Inventory
+	inv.Add(Item{Name: "a", LUTs: 10, FFs: 20, BRAM36: 1})
+	inv.Add(Item{Name: "b", LUTs: 5, FFs: 5, BRAM36: 2})
+	u := inv.Total()
+	if u.LUTs != 15 || u.FFs != 25 || u.BRAM36 != 3 {
+		t.Errorf("total = %+v", u)
+	}
+	lut, ff, bram := u.Percent(Device{LUTs: 1500, FFs: 2500, BRAM36: 30})
+	if lut != 1 || ff != 1 || bram != 10 {
+		t.Errorf("percent = %v %v %v", lut, ff, bram)
+	}
+}
+
+func TestTable3MatchesPaperShape(t *testing.T) {
+	rows := Table3(SUMEEventConfig(), Virtex7_690T)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Table3Row{}
+	for _, r := range rows {
+		byName[r.Resource] = r
+		if r.Measured <= 0 {
+			t.Errorf("%s measured %.3f, want positive", r.Resource, r.Measured)
+		}
+		// The headline claim: event support costs at most ~2% of the
+		// device in any resource class.
+		if r.Measured > 2.5 {
+			t.Errorf("%s measured %.3f%%, exceeds the paper's <=2%% envelope", r.Resource, r.Measured)
+		}
+		// And it should be within 2x of the paper's reported figure.
+		ratio := r.Measured / r.Paper
+		if ratio < 0.4 || ratio > 2.0 {
+			t.Errorf("%s measured %.3f%% vs paper %.1f%% (ratio %.2f)", r.Resource, r.Measured, r.Paper, ratio)
+		}
+	}
+	// BRAM must dominate relative cost (Table 3's key feature: 2.0 >> 0.5).
+	if byName["Block RAM"].Measured <= byName["Lookup Tables"].Measured {
+		t.Error("BRAM increase should dominate LUT increase")
+	}
+	if byName["Block RAM"].Measured <= byName["Flip Flops"].Measured {
+		t.Error("BRAM increase should dominate FF increase")
+	}
+}
+
+func TestTable3ScalesWithFIFODepth(t *testing.T) {
+	small := SUMEEventConfig()
+	small.FIFODepth = 128
+	big := SUMEEventConfig()
+	big.FIFODepth = 8192
+	smallBram := Table3(small, Virtex7_690T)[2].Measured
+	bigBram := Table3(big, Virtex7_690T)[2].Measured
+	if bigBram <= smallBram {
+		t.Errorf("BRAM cost did not grow with FIFO depth: %v vs %v", smallBram, bigBram)
+	}
+	// LUT cost should be insensitive to FIFO depth.
+	smallLUT := Table3(small, Virtex7_690T)[0].Measured
+	bigLUT := Table3(big, Virtex7_690T)[0].Measured
+	if math.Abs(smallLUT-bigLUT) > 1e-9 {
+		t.Errorf("LUT cost changed with FIFO depth: %v vs %v", smallLUT, bigLUT)
+	}
+}
+
+func TestNoTimersNoGeneratorCheaper(t *testing.T) {
+	full := EventLogicInventory(SUMEEventConfig()).Total()
+	lean := SUMEEventConfig()
+	lean.Timers = 0
+	lean.Generator = false
+	leanU := EventLogicInventory(lean).Total()
+	if leanU.LUTs >= full.LUTs || leanU.FFs >= full.FFs || leanU.BRAM36 >= full.BRAM36 {
+		t.Errorf("lean config not cheaper: %+v vs %+v", leanU, full)
+	}
+}

@@ -1,0 +1,46 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// A scheduler runs callbacks in virtual time: nothing here sleeps, and
+// runs are exactly reproducible.
+func ExampleScheduler() {
+	sched := sim.NewScheduler()
+	sched.At(10*sim.Microsecond, func() {
+		fmt.Println("first at", sched.Now())
+	})
+	ticker := sched.Every(20*sim.Microsecond, func() {
+		fmt.Println("tick at", sched.Now())
+	})
+	sched.Run(50 * sim.Microsecond)
+	ticker.Stop()
+	// Output:
+	// first at 10us
+	// tick at 20us
+	// tick at 40us
+}
+
+// Rates convert directly to wire timings.
+func ExampleRate_ByteTime() {
+	fmt.Println((10 * sim.Gbps).ByteTime(1500))
+	fmt.Println((10 * sim.Gbps).BitTime())
+	// Output:
+	// 1.2us
+	// 100ps
+}
+
+// The RNG is seeded and deterministic: the same seed yields the same
+// stream on every run and platform.
+func ExampleRNG() {
+	rng := sim.NewRNG(42)
+	fmt.Println(rng.Intn(100), rng.Intn(100), rng.Intn(100))
+	rng.Seed(42)
+	fmt.Println(rng.Intn(100), rng.Intn(100), rng.Intn(100))
+	// Output:
+	// 42 2 9
+	// 42 2 9
+}

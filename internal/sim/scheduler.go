@@ -1,0 +1,209 @@
+package sim
+
+import "container/heap"
+
+// Action is a callback executed when a scheduled event fires.
+type Action func()
+
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is invalid.
+type Handle struct {
+	ev *schedEvent
+}
+
+// Pending reports whether the event behind h is still waiting to fire
+// (not yet fired and not cancelled).
+func (h Handle) Pending() bool { return h.ev != nil && !h.ev.done && !h.ev.cancelled }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.cancelled = true
+	}
+}
+
+type schedEvent struct {
+	at        Time
+	seq       uint64 // insertion order; breaks ties deterministically
+	fn        Action
+	index     int // heap index
+	cancelled bool
+	done      bool
+}
+
+type eventHeap []*schedEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*schedEvent)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler is a deterministic discrete-event scheduler. Events scheduled
+// for the same instant fire in the order they were scheduled. Scheduler is
+// not safe for concurrent use; a simulation is a single logical thread.
+type Scheduler struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	halted bool
+}
+
+// NewScheduler returns a Scheduler with the clock at time zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Pending returns the number of events waiting to fire (including
+// cancelled events not yet discarded).
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Fired returns the total number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// At schedules fn to run at the absolute time at. Scheduling in the past
+// (before Now) panics: it would silently reorder causality.
+func (s *Scheduler) At(at Time, fn Action) Handle {
+	if at < s.now {
+		panic("sim: event scheduled in the past")
+	}
+	ev := &schedEvent{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d Time, fn Action) Handle {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Every schedules fn to run periodically with the given period, starting
+// one period from now. The returned Ticker can be stopped. fn observes the
+// scheduler time via Now.
+func (s *Scheduler) Every(period Time, fn Action) *Ticker {
+	if period <= 0 {
+		panic("sim: non-positive period")
+	}
+	t := &Ticker{s: s, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+// Ticker repeatedly fires an action at a fixed period until stopped.
+type Ticker struct {
+	s       *Scheduler
+	period  Time
+	fn      Action
+	h       Handle
+	stopped bool
+}
+
+func (t *Ticker) arm() {
+	t.h = t.s.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future firings. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.h.Cancel()
+}
+
+// Period returns the ticker's firing period.
+func (t *Ticker) Period() Time { return t.period }
+
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp. It returns false when no events remain.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*schedEvent)
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.at
+		ev.done = true
+		s.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or the clock would pass
+// until. The clock is left at the later of its current value and until
+// (unless the queue drained earlier, in which case it rests at the last
+// fired event). It returns the number of events executed.
+func (s *Scheduler) Run(until Time) uint64 {
+	start := s.fired
+	s.halted = false
+	for !s.halted {
+		if len(s.queue) == 0 {
+			break
+		}
+		// Peek.
+		next := s.queue[0]
+		if next.cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.at > until {
+			break
+		}
+		s.Step()
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return s.fired - start
+}
+
+// RunAll executes events until none remain. It returns the number of
+// events executed. Use with care: self-rescheduling processes (tickers)
+// never drain; prefer Run with a horizon.
+func (s *Scheduler) RunAll() uint64 {
+	start := s.fired
+	s.halted = false
+	for !s.halted && s.Step() {
+	}
+	return s.fired - start
+}
+
+// Halt stops Run/RunAll after the currently executing event returns.
+// It is intended to be called from inside event callbacks.
+func (s *Scheduler) Halt() { s.halted = true }

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stats accumulates scalar samples and reports summary statistics.
+// It keeps all samples, so percentiles are exact; simulations here record
+// at most a few million samples per metric.
+type Stats struct {
+	samples []float64
+	sum     float64
+	min     float64
+	max     float64
+	sorted  bool
+}
+
+// NewStats returns an empty accumulator.
+func NewStats() *Stats {
+	return &Stats{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Add records one sample.
+func (s *Stats) Add(v float64) {
+	s.samples = append(s.samples, v)
+	s.sum += v
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	s.sorted = false
+}
+
+// AddTime records a Time sample in picoseconds.
+func (s *Stats) AddTime(t Time) { s.Add(float64(t)) }
+
+// N returns the number of samples recorded.
+func (s *Stats) N() int { return len(s.samples) }
+
+// Sum returns the sum of all samples.
+func (s *Stats) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (s *Stats) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.samples))
+}
+
+// Min returns the smallest sample, or 0 when empty.
+func (s *Stats) Min() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest sample, or 0 when empty.
+func (s *Stats) Max() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Stddev returns the population standard deviation, or 0 when empty.
+func (s *Stats) Stddev() float64 {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	var ss float64
+	for _, v := range s.samples {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank, or 0 when empty.
+func (s *Stats) Percentile(p float64) float64 {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.samples[0]
+	}
+	if p >= 100 {
+		return s.samples[n-1]
+	}
+	rank := int(math.Ceil(p/100*float64(n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return s.samples[rank]
+}
+
+// String summarizes the distribution for logs and experiment tables.
+func (s *Stats) String() string {
+	if s.N() == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.3f p50=%.3f p99=%.3f max=%.3f",
+		s.N(), s.Mean(), s.Percentile(50), s.Percentile(99), s.Max())
+}

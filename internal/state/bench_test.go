@@ -1,0 +1,25 @@
+package state
+
+import "testing"
+
+// Micro-benchmarks for the Figure 3 register machinery.
+
+func BenchmarkAggregatedDeferDrain(b *testing.B) {
+	ag := NewAggregated("r", 1024, 1, "enq", "deq")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := uint64(i + 1)
+		ag.Tick(c)
+		ag.Defer(i&1, uint32(i&1023), int64(i&0xff))
+		ag.EndCycle()
+	}
+}
+
+func BenchmarkArrayRMW(b *testing.B) {
+	a := NewArray("r", 1024, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Tick(uint64(i + 1))
+		a.TryRMW(uint32(i&1023), func(v uint64) uint64 { return v + 1 })
+	}
+}

@@ -1,0 +1,266 @@
+// Package workload generates synthetic traffic for the experiments:
+// constant-bit-rate and Poisson arrivals, heavy-tailed flow mixes, and
+// microburst injections. Generators drive a sink (usually a switch port)
+// through the simulation scheduler, with all randomness drawn from the
+// deterministic sim.RNG.
+//
+// This is the substitution for the paper's real line-rate traffic (see
+// DESIGN.md §2): what matters for every claim is arrival spacing relative
+// to the pipeline's cycle budget and the flow structure, both of which
+// these generators control exactly.
+package workload
+
+import (
+	"math"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Sink consumes generated frames, timed by the scheduler. core.Switch's
+// Inject method (curried with a port) is the usual sink.
+type Sink func(data []byte)
+
+// SizeDist picks frame sizes.
+type SizeDist interface {
+	// Next returns the next frame length in bytes.
+	Next(rng *sim.RNG) int
+}
+
+// FixedSize always returns the same frame length.
+type FixedSize int
+
+// Next implements SizeDist.
+func (s FixedSize) Next(*sim.RNG) int { return int(s) }
+
+// IMix approximates the classic Internet mix: 7 parts 60B (64B wire),
+// 4 parts 576B, 1 part 1514B.
+type IMix struct{}
+
+// Next implements SizeDist.
+func (IMix) Next(rng *sim.RNG) int {
+	switch r := rng.Intn(12); {
+	case r < 7:
+		return 60
+	case r < 11:
+		return 576
+	default:
+		return 1514
+	}
+}
+
+// UniformSize picks uniformly in [Min, Max].
+type UniformSize struct{ Min, Max int }
+
+// Next implements SizeDist.
+func (u UniformSize) Next(rng *sim.RNG) int {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + rng.Intn(u.Max-u.Min+1)
+}
+
+// FlowSet is a pool of flows to draw packets from; draws follow a Zipf-ish
+// popularity so a few flows dominate, as in real traffic.
+type FlowSet struct {
+	flows []packet.Flow
+	cdf   []float64
+}
+
+// NewFlowSet builds n flows between the given /24-style host ranges with
+// Zipf popularity of exponent alpha (alpha=0 gives uniform).
+func NewFlowSet(n int, alpha float64, base packet.IP) *FlowSet {
+	fs := &FlowSet{flows: make([]packet.Flow, n), cdf: make([]float64, n)}
+	var sum float64
+	for i := 0; i < n; i++ {
+		fs.flows[i] = packet.Flow{
+			Src:     base + packet.IP(i%251),
+			Dst:     base + packet.IP(1000+i),
+			SrcPort: uint16(1024 + i%50000),
+			DstPort: uint16(80 + i%7),
+			Proto:   packet.ProtoUDP,
+		}
+		w := 1.0
+		if alpha > 0 {
+			w = 1.0 / pow(float64(i+1), alpha)
+		}
+		sum += w
+		fs.cdf[i] = sum
+	}
+	for i := range fs.cdf {
+		fs.cdf[i] /= sum
+	}
+	return fs
+}
+
+func pow(x, a float64) float64 { return math.Pow(x, a) }
+
+// Len returns the number of flows.
+func (fs *FlowSet) Len() int { return len(fs.flows) }
+
+// Flow returns flow i.
+func (fs *FlowSet) Flow(i int) packet.Flow { return fs.flows[i] }
+
+// Pick draws a flow index by popularity.
+func (fs *FlowSet) Pick(rng *sim.RNG) int {
+	u := rng.Float64()
+	lo, hi := 0, len(fs.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if fs.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Gen is a traffic generator bound to a scheduler and sink.
+type Gen struct {
+	sched *sim.Scheduler
+	rng   *sim.RNG
+	sink  Sink
+
+	// Sent counts frames and bytes delivered to the sink.
+	SentPackets uint64
+	SentBytes   uint64
+	stopped     bool
+}
+
+// NewGen builds a generator.
+func NewGen(sched *sim.Scheduler, rng *sim.RNG, sink Sink) *Gen {
+	return &Gen{sched: sched, rng: rng, sink: sink}
+}
+
+// Stop halts all future emissions from this generator.
+func (g *Gen) Stop() { g.stopped = true }
+
+func (g *Gen) emit(data []byte) {
+	if g.stopped {
+		return
+	}
+	g.SentPackets++
+	g.SentBytes += uint64(len(data))
+	g.sink(data)
+}
+
+// CBRConfig describes a constant-bit-rate stream.
+type CBRConfig struct {
+	Flow  packet.Flow
+	Size  SizeDist
+	Rate  sim.Rate // offered rate including wire overhead of 24B/frame
+	Until sim.Time // stop time (0 = run forever)
+}
+
+// StartCBR emits frames back-to-back spaced to match the offered rate.
+func (g *Gen) StartCBR(cfg CBRConfig) {
+	if cfg.Size == nil {
+		cfg.Size = FixedSize(packet.MinFrameLen)
+	}
+	var step func()
+	step = func() {
+		if g.stopped || (cfg.Until > 0 && g.sched.Now() >= cfg.Until) {
+			return
+		}
+		n := cfg.Size.Next(g.rng)
+		data := packet.BuildFrame(packet.FrameSpec{Flow: cfg.Flow, TotalLen: n})
+		g.emit(data)
+		gap := cfg.Rate.ByteTime(len(data) + 24) // wire footprint spacing
+		g.sched.After(gap, step)
+	}
+	step()
+}
+
+// PoissonConfig describes Poisson packet arrivals over a flow set.
+type PoissonConfig struct {
+	Flows *FlowSet
+	Size  SizeDist
+	// MeanGap is the mean inter-arrival time.
+	MeanGap sim.Time
+	Until   sim.Time
+}
+
+// StartPoisson emits frames with exponential inter-arrival times, drawing
+// each frame's flow from the flow set's popularity distribution.
+func (g *Gen) StartPoisson(cfg PoissonConfig) {
+	if cfg.Size == nil {
+		cfg.Size = IMix{}
+	}
+	var step func()
+	step = func() {
+		if g.stopped || (cfg.Until > 0 && g.sched.Now() >= cfg.Until) {
+			return
+		}
+		fl := cfg.Flows.Flow(cfg.Flows.Pick(g.rng))
+		n := cfg.Size.Next(g.rng)
+		g.emit(packet.BuildFrame(packet.FrameSpec{Flow: fl, TotalLen: n}))
+		g.sched.After(g.rng.ExpTime(cfg.MeanGap), step)
+	}
+	g.sched.After(g.rng.ExpTime(cfg.MeanGap), step)
+}
+
+// BurstConfig describes a microburst: a train of frames from one flow
+// arriving nearly back-to-back.
+type BurstConfig struct {
+	Flow    packet.Flow
+	Size    SizeDist
+	Count   int
+	Spacing sim.Time // inter-frame spacing within the burst
+	At      sim.Time // burst start
+}
+
+// ScheduleBurst injects a burst at the configured time.
+func (g *Gen) ScheduleBurst(cfg BurstConfig) {
+	if cfg.Size == nil {
+		cfg.Size = FixedSize(packet.MinFrameLen)
+	}
+	if cfg.Spacing <= 0 {
+		cfg.Spacing = sim.Nanosecond
+	}
+	g.sched.At(cfg.At, func() {
+		for i := 0; i < cfg.Count; i++ {
+			i := i
+			g.sched.After(sim.Time(i)*cfg.Spacing, func() {
+				n := cfg.Size.Next(g.rng)
+				g.emit(packet.BuildFrame(packet.FrameSpec{Flow: cfg.Flow, TotalLen: n}))
+			})
+		}
+	})
+}
+
+// SaturateConfig describes full-line-rate arrival of minimum-size frames —
+// the worst case for the pipeline's slot budget (experiment E6).
+type SaturateConfig struct {
+	Flow  packet.Flow
+	Rate  sim.Rate
+	Size  int // frame length (default minimum)
+	Until sim.Time
+	// Load scales the offered rate (1.0 = exactly line rate).
+	Load float64
+}
+
+// StartSaturate emits fixed-size frames at Load x line rate with exact
+// deterministic spacing.
+func (g *Gen) StartSaturate(cfg SaturateConfig) {
+	if cfg.Size <= 0 {
+		cfg.Size = packet.MinFrameLen
+	}
+	if cfg.Load <= 0 {
+		cfg.Load = 1.0
+	}
+	gap := sim.Time(float64(cfg.Rate.ByteTime(cfg.Size+24)) / cfg.Load)
+	var step func()
+	seq := uint32(0)
+	step = func() {
+		if g.stopped || (cfg.Until > 0 && g.sched.Now() >= cfg.Until) {
+			return
+		}
+		fl := cfg.Flow
+		fl.SrcPort = uint16(1024 + seq%16) // a few sub-flows for hashing
+		seq++
+		g.emit(packet.BuildFrame(packet.FrameSpec{Flow: fl, TotalLen: cfg.Size}))
+		g.sched.After(gap, step)
+	}
+	step()
+}
