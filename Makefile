@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check vet build test race bench evbench
+
+# The gate everything must pass: static checks, a full build, the test
+# suite, and the parallel experiment harness under the race detector.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/bench -run TestParallel
+
+# Hot-path micro-benchmarks (scheduler + switch cycle).
+bench:
+	$(GO) test -bench 'BenchmarkScheduler|BenchmarkSwitch' -benchmem -run xxx ./internal/sim ./internal/core
+
+# Regenerate every table and figure.
+evbench:
+	$(GO) run ./cmd/evbench

@@ -1,15 +1,23 @@
 // Command evbench regenerates the paper's tables and figures from the
 // simulator. With no flags it runs every experiment; -exp selects one.
 //
-//	evbench                 # run everything
-//	evbench -exp table3     # just the Table 3 reproduction
-//	evbench -list           # list experiment ids
+//	evbench                          # run everything
+//	evbench -exp table3              # just the Table 3 reproduction
+//	evbench -list                    # list experiment ids
+//	evbench -parallel 8              # 8 worker goroutines per experiment
+//	evbench -cpuprofile cpu.pprof    # write a CPU profile
+//	evbench -memprofile mem.pprof    # write an allocation profile
+//
+// Output is identical for every -parallel value: trials are distributed
+// across workers but result rows are emitted in trial order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 )
@@ -17,6 +25,10 @@ import (
 func main() {
 	exp := flag.String("exp", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	par := flag.Int("parallel", bench.Parallelism(),
+		"worker goroutines for experiment trials (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to `file`")
+	memprofile := flag.String("memprofile", "", "write allocation profile to `file`")
 	flag.Parse()
 
 	if *list {
@@ -25,16 +37,53 @@ func main() {
 		}
 		return
 	}
-	if *exp != "" {
-		e, ok := bench.Get(*exp)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "evbench: unknown experiment %q (try -list)\n", *exp)
+
+	if *par <= 0 {
+		*par = runtime.GOMAXPROCS(0)
+	}
+	bench.SetParallelism(*par)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evbench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Println(e.Run().String())
-		return
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "evbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
-	for _, e := range bench.All() {
-		fmt.Println(e.Run().String())
+
+	run := func() {
+		if *exp != "" {
+			e, ok := bench.Get(*exp)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "evbench: unknown experiment %q (try -list)\n", *exp)
+				os.Exit(1)
+			}
+			fmt.Println(e.Run().String())
+			return
+		}
+		for _, e := range bench.All() {
+			fmt.Println(e.Run().String())
+		}
+	}
+	run()
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "evbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -30,7 +30,9 @@ func Ablations() *Result {
 	}
 
 	// --- 1. Register implementation: aggregated vs multi-ported --------
-	for _, mode := range []string{"aggregated-1port", "multiport-3port"} {
+	regModes := []string{"aggregated-1port", "multiport-3port"}
+	for _, rows := range RunParallel(len(regModes), func(trial int) [][]string {
+		mode := regModes[trial]
 		var reg *pisa.SharedRegister
 		if mode == "aggregated-1port" {
 			reg = pisa.NewAggregatedRegister("r", 64,
@@ -64,51 +66,77 @@ func Ablations() *Result {
 		if mode != "aggregated-1port" {
 			ports = 3
 		}
-		res.AddRow("register impl", mode, "memory ports", d(ports))
-		res.AddRow("register impl", mode, "max read error (staleness)", d(maxErr))
-		res.AddRow("register impl", mode, "port conflicts", d(conflicts))
+		return [][]string{
+			{"register impl", mode, "memory ports", d(ports)},
+			{"register impl", mode, "max read error (staleness)", d(maxErr)},
+			{"register impl", mode, "port conflicts", d(conflicts)},
+		}
+	}) {
+		for _, row := range rows {
+			res.AddRow(row...)
+		}
 	}
 
 	// --- 2. Metadata bus width (events per slot) x FIFO depth -----------
 	// With a full-width bus (one event of every kind per slot) nothing
 	// is ever lost; narrowing the bus forces queueing and, with shallow
 	// FIFOs, loss.
+	type fifoPoint struct{ width, depth int }
+	var fifoGrid []fifoPoint
 	for _, width := range []int{1, 2, 0} {
 		for _, depth := range []int{16, 256} {
-			drops := runFIFODepth(depth, width)
-			wname := "full"
-			if width > 0 {
-				wname = fmt.Sprintf("%d/slot", width)
-			}
-			res.AddRow("bus width x FIFO depth",
-				fmt.Sprintf("width=%s depth=%d", wname, depth),
-				"enq+deq events lost", d(drops))
+			fifoGrid = append(fifoGrid, fifoPoint{width, depth})
 		}
+	}
+	for _, row := range RunParallel(len(fifoGrid), func(trial int) []string {
+		pt := fifoGrid[trial]
+		drops := runFIFODepth(pt.depth, pt.width)
+		wname := "full"
+		if pt.width > 0 {
+			wname = fmt.Sprintf("%d/slot", pt.width)
+		}
+		return []string{"bus width x FIFO depth",
+			fmt.Sprintf("width=%s depth=%d", wname, pt.depth),
+			"enq+deq events lost", d(drops)}
+	}) {
+		res.AddRow(row...)
 	}
 
 	// --- 2b. Piggybacking vs dedicated event slots ----------------------
 	// The merger's defining trick: event metadata rides packet slots.
 	// Without it every event consumes its own slot and competes with
 	// packets for the pipeline.
-	for _, piggy := range []bool{true, false} {
+	piggyModes := []bool{true, false}
+	for _, rows := range RunParallel(len(piggyModes), func(trial int) [][]string {
+		piggy := piggyModes[trial]
 		delivered, evLost := runPiggyback(piggy)
 		name := "piggyback (paper design)"
 		if !piggy {
 			name = "dedicated event slots"
 		}
-		res.AddRow("event transport", name, "data delivered", delivered)
-		res.AddRow("event transport", name, "TM events lost", d(evLost))
+		return [][]string{
+			{"event transport", name, "data delivered", delivered},
+			{"event transport", name, "TM events lost", d(evLost)},
+		}
+	}) {
+		for _, row := range rows {
+			res.AddRow(row...)
+		}
 	}
 
 	// --- 3. Merger priority: timer-first vs timer-last on a narrow bus --
-	for _, timerFirst := range []bool{false, true} {
+	prioModes := []bool{false, true}
+	for _, row := range RunParallel(len(prioModes), func(trial int) []string {
+		timerFirst := prioModes[trial]
 		delay := runMergerPriority(timerFirst)
 		name := "timer last (default)"
 		if timerFirst {
 			name = "timer first"
 		}
-		res.AddRow("merger priority (width=1)", name, "timer event delay p99",
-			sim.Time(delay.Percentile(99)).String())
+		return []string{"merger priority (width=1)", name, "timer event delay p99",
+			sim.Time(delay.Percentile(99)).String()}
+	}) {
+		res.AddRow(row...)
 	}
 
 	res.Notef("register ablation: the multi-ported design is exact but needs one physical port per thread;")
@@ -183,21 +211,22 @@ func runPiggyback(piggyback bool) (string, uint64) {
 // when TM events compete, under the default priority (timer near last)
 // vs a timer-first order.
 func runMergerPriority(timerFirst bool) *sim.Stats {
-	saved := append([]events.Kind(nil), core.MergerPriority...)
-	defer func() { core.MergerPriority = saved }()
+	// The priority is per-switch configuration, so concurrently running
+	// trials never observe each other's ordering.
+	prio := append([]events.Kind(nil), core.MergerPriority...)
 	if timerFirst {
-		reordered := []events.Kind{events.TimerExpiration}
-		for _, k := range saved {
+		prio = append(prio[:0], events.TimerExpiration)
+		for _, k := range core.MergerPriority {
 			if k != events.TimerExpiration {
-				reordered = append(reordered, k)
+				prio = append(prio, k)
 			}
 		}
-		core.MergerPriority = reordered
 	}
 
 	sched := sim.NewScheduler()
 	sw := core.New(core.Config{
 		EventQueueDepth: 4096, Overspeed: 1.02, MaxEventsPerSlot: 1,
+		MergerPriority: prio,
 	}, core.EventDriven(), sched)
 	prog := pisa.NewProgram("prio")
 	delay := sim.NewStats()

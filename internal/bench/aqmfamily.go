@@ -29,10 +29,12 @@ func AQMFamily() *Result {
 		Cols: []string{"policy", "mean queue (KB)", "mouse delivery", "hog delivery",
 			"link utilization"},
 	}
-	for _, policy := range []string{"tail-drop", "RED", "PIE", "AFD", "FRED"} {
-		row := runAQM(policy)
-		cells := append([]string{policy}, row...)
-		res.AddRow(cells...)
+	policies := []string{"tail-drop", "RED", "PIE", "AFD", "FRED"}
+	rows := RunParallel(len(policies), func(trial int) []string {
+		return append([]string{policies[trial]}, runAQM(policies[trial])...)
+	})
+	for _, row := range rows {
+		res.AddRow(row...)
 	}
 	res.Notef("scenario: 12 Gb/s hog (1500B) + 100 Mb/s mouse (300B) into one 10G egress for 50ms; 1MB buffer")
 	res.Notef("tail-drop fills the whole buffer (max delay) and drops whatever arrives at the brim, mouse included")

@@ -34,13 +34,18 @@ func (r *Result) Notef(format string, args ...any) {
 func (r *Result) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	// Size widths over header and every row, extending past the header
+	// when rows are ragged (wider than Cols) so all columns still align.
 	widths := make([]int, len(r.Cols))
 	for i, c := range r.Cols {
 		widths[i] = len(c)
 	}
 	for _, row := range r.Rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
+			if i == len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
 		}
@@ -50,7 +55,7 @@ func (r *Result) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], cell)
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
 		}
 		b.WriteByte('\n')
 	}
@@ -67,13 +72,6 @@ func (r *Result) String() string {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Experiment is a named, runnable experiment.

@@ -28,7 +28,9 @@ func Fig3() *Result {
 	}
 	const cycles = 600_000
 	const size = 256
-	for _, load := range []float64{0.50, 0.80, 0.90, 0.95, 1.00} {
+	loads := []float64{0.50, 0.80, 0.90, 0.95, 1.00}
+	rows := RunParallel(len(loads), func(trial int) []string {
+		load := loads[trial]
 		rng := sim.NewRNG(42)
 		ag := state.NewAggregated("qsize", size, 1, "enq", "deq")
 		evRate := 0.45 // enqueue and dequeue events each on 45% of cycles
@@ -68,13 +70,16 @@ func Fig3() *Result {
 		if m.Drained > 0 {
 			lag = fmt.Sprintf("%.0f", m.MeanLag)
 		}
-		res.AddRow(
+		return []string{
 			fmt.Sprintf("%.0f%%", load*100),
 			d(m.Deferred), d(m.Drained),
 			d(backlogHalf), d(ag.Backlog()),
 			d(pendingHalf), d(pendingEnd),
 			lag, yn(bounded),
-		)
+		}
+	})
+	for _, row := range rows {
+		res.AddRow(row...)
 	}
 	res.Notef("pending bytes = sum over indices of |undrained delta|: the gap between the stale main register and the true value")
 	res.Notef("coalescing bounds the dirty-index backlog at any load; at 100%% load value staleness grows all run (no idle cycles)")

@@ -29,20 +29,32 @@ func Fig4() *Result {
 			"events merged", "event FIFO drops"},
 	}
 	const horizon = 4 * sim.Millisecond
+	type point struct {
+		mode string
+		size int
+	}
+	var grid []point
 	for _, mode := range []string{"baseline", "event-driven"} {
 		for _, size := range []int{60, 576, 1514} {
-			st, offered, delivered := runLineRate(mode, size, 1.0, horizon)
-			var merged, fifoDrops uint64
-			for k := 0; k < events.NumKinds; k++ {
-				if !events.Kind(k).IsPacketEvent() {
-					merged += st.EventsMerged[k]
-				}
-				fifoDrops += st.EventsDropped[k]
-			}
-			res.AddRow(mode, fmt.Sprintf("%dB", size), "100%",
-				pct(float64(delivered), float64(offered)),
-				d(st.EmptySlots), d(merged), d(fifoDrops))
+			grid = append(grid, point{mode, size})
 		}
+	}
+	rows := RunParallel(len(grid), func(trial int) []string {
+		pt := grid[trial]
+		st, offered, delivered := runLineRate(pt.mode, pt.size, 1.0, horizon)
+		var merged, fifoDrops uint64
+		for k := 0; k < events.NumKinds; k++ {
+			if !events.Kind(k).IsPacketEvent() {
+				merged += st.EventsMerged[k]
+			}
+			fifoDrops += st.EventsDropped[k]
+		}
+		return []string{pt.mode, fmt.Sprintf("%dB", pt.size), "100%",
+			pct(float64(delivered), float64(offered)),
+			d(st.EmptySlots), d(merged), d(fifoDrops)}
+	})
+	for _, row := range rows {
+		res.AddRow(row...)
 	}
 	res.Notef("delivered counts packets out vs packets offered over a %v run (in-flight tail excluded)", horizon)
 	res.Notef("event support must not reduce the delivered fraction at any frame size")

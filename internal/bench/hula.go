@@ -29,7 +29,7 @@ func HULABench() *Result {
 		Title: "HULA path balancing vs probe period (paper §3)",
 		Cols:  []string{"probe source", "probe period", "uplink balance (Jain)", "probes/s/switch", "flows moved"},
 	}
-	for _, cfg := range []struct {
+	configs := []struct {
 		name   string
 		period sim.Time
 	}{
@@ -38,10 +38,15 @@ func HULABench() *Result {
 		{"data plane", 1 * sim.Millisecond},
 		{"control plane", 10 * sim.Millisecond}, // feasible CP period
 		{"control plane", 50 * sim.Millisecond},
-	} {
+	}
+	rows := RunParallel(len(configs), func(trial int) []string {
+		cfg := configs[trial]
 		jain, pps, moved := runHULAFabric(cfg.period)
-		res.AddRow(cfg.name, cfg.period.String(),
-			fmt.Sprintf("%.3f", jain), fmt.Sprintf("%.0f", pps), d(moved))
+		return []string{cfg.name, cfg.period.String(),
+			fmt.Sprintf("%.3f", jain), fmt.Sprintf("%.0f", pps), d(moved)}
+	})
+	for _, row := range rows {
+		res.AddRow(row...)
 	}
 	res.Notef("Jain fairness of tor0's two uplink byte counts over the run; 1.0 = perfectly balanced")
 	res.Notef("control-plane rows model the same probes generated at the slowest period a software agent sustains")

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelism is the worker-pool width used by RunParallel. It defaults
+// to the number of usable CPUs; SetParallelism(1) forces fully serial
+// execution (useful for A/B-ing determinism and for profiling a single
+// trial).
+var parallelism atomic.Int32
+
+func init() {
+	parallelism.Store(int32(runtime.GOMAXPROCS(0)))
+}
+
+// SetParallelism sets the number of workers RunParallel uses. Values
+// below 1 are treated as 1.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism returns the current worker-pool width.
+func Parallelism() int { return int(parallelism.Load()) }
+
+// RunParallel evaluates fn(0..n-1) on a worker pool and returns the
+// results indexed by trial, so output ordering is deterministic and
+// independent of the worker count and interleaving.
+//
+// Each trial must be self-contained: build its own sim.Scheduler, its
+// own switches, and seed its own RNGs from constants or from the trial
+// index — never from shared mutable state. A Scheduler is a single
+// logical thread (not concurrency-safe), but distinct sweep points of an
+// experiment are independent simulations, which is exactly the
+// parallelism this helper exploits. Under this contract the rendered
+// experiment tables are byte-identical at every parallelism level.
+func RunParallel[T any](n int, fn func(trial int) T) []T {
+	out := make([]T, n)
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// TrialSeed derives a per-trial RNG seed from an experiment's base seed
+// and the trial index using a splitmix64 step, so trials get
+// decorrelated deterministic streams no matter which worker runs them.
+func TrialSeed(base uint64, trial int) uint64 {
+	x := base + uint64(trial)*0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

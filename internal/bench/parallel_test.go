@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// withParallelism runs fn with the worker-pool width pinned to n,
+// restoring the previous setting afterwards.
+func withParallelism(n int, fn func()) {
+	prev := Parallelism()
+	SetParallelism(n)
+	defer SetParallelism(prev)
+	fn()
+}
+
+// TestParallelOrdering verifies RunParallel returns results indexed by
+// trial regardless of which worker evaluated them.
+func TestParallelOrdering(t *testing.T) {
+	withParallelism(8, func() {
+		out := RunParallel(100, func(trial int) int { return trial * trial })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+			}
+		}
+	})
+}
+
+// TestParallelRunsAllTrials verifies every trial runs exactly once even
+// when trials greatly outnumber workers, and that worker counts above
+// the trial count are clamped.
+func TestParallelRunsAllTrials(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		withParallelism(workers, func() {
+			var calls atomic.Int64
+			seen := make([]atomic.Int32, 37)
+			RunParallel(37, func(trial int) struct{} {
+				calls.Add(1)
+				seen[trial].Add(1)
+				return struct{}{}
+			})
+			if got := calls.Load(); got != 37 {
+				t.Errorf("workers=%d: %d calls, want 37", workers, got)
+			}
+			for i := range seen {
+				if n := seen[i].Load(); n != 1 {
+					t.Errorf("workers=%d: trial %d ran %d times", workers, i, n)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelDeterminism is the tentpole's acceptance check: a
+// parallel-converted experiment must render byte-identical output at
+// parallelism 1 (fully serial) and 8. Each trial builds its own
+// scheduler and RNGs, and RunParallel slots results by trial index, so
+// worker interleaving must be invisible in the table.
+func TestParallelDeterminism(t *testing.T) {
+	for _, id := range []string{"table2", "fig3"} {
+		e, ok := Get(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		var serial, parallel string
+		withParallelism(1, func() { serial = e.Run().String() })
+		withParallelism(8, func() { parallel = e.Run().String() })
+		if serial != parallel {
+			t.Errorf("%s: -parallel 1 and -parallel 8 output differ:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				id, serial, parallel)
+		}
+	}
+}
+
+// TestTrialSeed verifies per-trial seeds are deterministic and
+// decorrelated (distinct across neighbouring trials and bases).
+func TestTrialSeed(t *testing.T) {
+	if TrialSeed(42, 7) != TrialSeed(42, 7) {
+		t.Error("TrialSeed is not deterministic")
+	}
+	seen := map[uint64]bool{}
+	for base := uint64(0); base < 4; base++ {
+		for trial := 0; trial < 64; trial++ {
+			s := TrialSeed(base, trial)
+			if seen[s] {
+				t.Fatalf("seed collision at base=%d trial=%d", base, trial)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestSetParallelismClamps verifies values below 1 are clamped.
+func TestSetParallelismClamps(t *testing.T) {
+	prev := Parallelism()
+	defer SetParallelism(prev)
+	SetParallelism(-3)
+	if got := Parallelism(); got != 1 {
+		t.Errorf("Parallelism after SetParallelism(-3) = %d, want 1", got)
+	}
+}

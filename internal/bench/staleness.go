@@ -31,15 +31,25 @@ func Staleness() *Result {
 			"undrained @end (B)", "defer lag max (cyc)", "bounded"},
 	}
 	const horizon = 10 * sim.Millisecond
+	type point struct {
+		overspeed, load float64
+	}
+	var grid []point
 	for _, overspeed := range []float64{1.0, 1.05, 1.25, 1.5} {
 		for _, load := range []float64{0.7, 1.0} {
-			row := runStaleness(overspeed, load, horizon)
-			cells := append([]string{
-				fmt.Sprintf("%.2fx", overspeed),
-				fmt.Sprintf("%.0f%%", load*100),
-			}, row...)
-			res.AddRow(cells...)
+			grid = append(grid, point{overspeed, load})
 		}
+	}
+	rows := RunParallel(len(grid), func(trial int) []string {
+		pt := grid[trial]
+		row := runStaleness(pt.overspeed, pt.load, horizon)
+		return append([]string{
+			fmt.Sprintf("%.2fx", pt.overspeed),
+			fmt.Sprintf("%.0f%%", pt.load*100),
+		}, row...)
+	})
+	for _, row := range rows {
+		res.AddRow(row...)
 	}
 	res.Notef("min-size frames on all 4 ports; staleness sampled every 50us against the register's true value")
 	res.Notef("undrained@end = total |pending delta| across aggregation banks: the drain process's debt")

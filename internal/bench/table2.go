@@ -27,7 +27,25 @@ func Table2() *Result {
 		Cols:  []string{"class", "example", "events used", "outcome"},
 	}
 
-	// Congestion Aware Forwarding: HULA probe selection.
+	// One self-contained scenario per application class; each runs on its
+	// own scheduler, so the classes sweep out across workers.
+	scenarios := []func() []string{
+		table2HULA, table2FRR, table2Microburst, table2FRED, table2Cache,
+	}
+	for _, row := range RunParallel(len(scenarios), func(trial int) []string {
+		return scenarios[trial]()
+	}) {
+		res.AddRow(row...)
+	}
+
+	res.Notef("each row ran as its own end-to-end scenario; 'events used' are the kinds the program binds")
+	res.Notef("a second example per class also exists in internal/apps: CONGA-style flowlets, swing-state migration,")
+	res.Notef("INT transit + report filtering, RED/PIE/AFD and a token-bucket policer, and NetChain-style coordination")
+	return res
+}
+
+// table2HULA: Congestion Aware Forwarding — HULA probe selection.
+func table2HULA() []string {
 	{
 		sched := sim.NewScheduler()
 		sw := core.New(core.Config{}, core.EventDriven(), sched)
@@ -40,12 +58,14 @@ func Table2() *Result {
 			&packet.Probe{TorID: 1, MaxUtil: 100_000}))
 		sched.Run(2 * sim.Millisecond)
 		hop, util := h.BestHop(1)
-		res.AddRow("Congestion Aware Fwd", "HULA probes",
+		return []string{"Congestion Aware Fwd", "HULA probes",
 			kindsOf(prog),
-			fmt.Sprintf("best hop=%d util=%d probes: sent=%d seen=%d", hop, util, h.ProbesSent, h.ProbesSeen))
+			fmt.Sprintf("best hop=%d util=%d probes: sent=%d seen=%d", hop, util, h.ProbesSent, h.ProbesSeen)}
 	}
+}
 
-	// Network Management: fast re-route on link failure.
+// table2FRR: Network Management — fast re-route on link failure.
+func table2FRR() []string {
 	{
 		sched := sim.NewScheduler()
 		sw := core.New(core.Config{}, core.EventDriven(), sched)
@@ -60,12 +80,14 @@ func Table2() *Result {
 			sched.At(at, func() { sw.Inject(0, packet.BuildFrame(packet.FrameSpec{Flow: fl, TotalLen: 200})) })
 		}
 		sched.Run(5 * sim.Millisecond)
-		res.AddRow("Network Management", "Fast re-route",
+		return []string{"Network Management", "Fast re-route",
 			kindsOf(prog),
-			fmt.Sprintf("failovers=%d primary=%d backup=%d (0 lost)", r.Failovers, r.RoutedPrimary, r.RoutedBackup))
+			fmt.Sprintf("failovers=%d primary=%d backup=%d (0 lost)", r.Failovers, r.RoutedPrimary, r.RoutedBackup)}
 	}
+}
 
-	// Network Monitoring: microburst detection.
+// table2Microburst: Network Monitoring — microburst detection.
+func table2Microburst() []string {
 	{
 		sched := sim.NewScheduler()
 		sw := core.New(core.Config{}, core.EventDriven(), sched)
@@ -82,12 +104,14 @@ func Table2() *Result {
 			sched.At(at, func() { sw.Inject(0, packet.BuildFrame(packet.FrameSpec{Flow: fl, TotalLen: 1500})) })
 		}
 		sched.Run(5 * sim.Millisecond)
-		res.AddRow("Network Monitoring", "Microburst detection",
+		return []string{"Network Monitoring", "Microburst detection",
 			kindsOf(prog),
-			fmt.Sprintf("detections=%d of culprit flow", len(mb.Detections)))
+			fmt.Sprintf("detections=%d of culprit flow", len(mb.Detections))}
 	}
+}
 
-	// Traffic Management: FRED-like fair AQM.
+// table2FRED: Traffic Management — FRED-like fair AQM.
+func table2FRED() []string {
 	{
 		sched := sim.NewScheduler()
 		sw := core.New(core.Config{QueueCapBytes: 1 << 20}, core.EventDriven(), sched)
@@ -104,12 +128,14 @@ func Table2() *Result {
 			Flow: packet.Flow{Src: packet.IP4(10, 0, 0, 2), Dst: packet.IP4(10, 1, 0, 1), SrcPort: 3, DstPort: 4, Proto: packet.ProtoUDP},
 			Size: workload.FixedSize(300), Rate: 200 * sim.Mbps, Until: 10 * sim.Millisecond})
 		sched.Run(12 * sim.Millisecond)
-		res.AddRow("Traffic Management", "FRED-like AQM",
+		return []string{"Traffic Management", "FRED-like AQM",
 			kindsOf(prog),
-			fmt.Sprintf("dropped=%d passed=%d occupancy samples=%d", fr.Dropped, fr.Passed, len(fr.Samples)))
+			fmt.Sprintf("dropped=%d passed=%d occupancy samples=%d", fr.Dropped, fr.Passed, len(fr.Samples))}
 	}
+}
 
-	// In-Network Computing: NetCache-style cache.
+// table2Cache: In-Network Computing — NetCache-style cache.
+func table2Cache() []string {
 	{
 		sched := sim.NewScheduler()
 		sw := core.New(core.Config{}, core.EventDriven(), sched)
@@ -126,15 +152,10 @@ func Table2() *Result {
 			sched.At(at, func() { sw.Inject(0, apps.BuildCacheRequest(client, apps.CacheGet, 5, 0)) })
 		}
 		sched.Run(10 * sim.Millisecond)
-		res.AddRow("In-Network Computing", "NetCache-style cache",
+		return []string{"In-Network Computing", "NetCache-style cache",
 			kindsOf(prog),
-			fmt.Sprintf("hits=%d misses=%d (timer-aged LRU)", c.Hits, c.Misses))
+			fmt.Sprintf("hits=%d misses=%d (timer-aged LRU)", c.Hits, c.Misses)}
 	}
-
-	res.Notef("each row ran as its own end-to-end scenario; 'events used' are the kinds the program binds")
-	res.Notef("a second example per class also exists in internal/apps: CONGA-style flowlets, swing-state migration,")
-	res.Notef("INT transit + report filtering, RED/PIE/AFD and a token-bucket policer, and NetChain-style coordination")
-	return res
 }
 
 // kindsOf summarizes a program's bound event kinds, abbreviated.

@@ -36,12 +36,24 @@ func Tofino() *Result {
 		Cols: []string{"design", "load", "data delivered", "deq updates applied",
 			"occupancy mean |err| (B)"},
 	}
+	type point struct {
+		load float64
+		mode string
+	}
+	var grid []point
 	for _, load := range []float64{0.25, 0.50, 0.90} {
 		for _, mode := range []string{"native-events", "recirc-emulation"} {
-			delivered, applied, err := runTofino(mode, load)
-			res.AddRow(mode, fmt.Sprintf("%.0f%%", load*100),
-				delivered, applied, fmt.Sprintf("%.0f", err))
+			grid = append(grid, point{load, mode})
 		}
+	}
+	rows := RunParallel(len(grid), func(trial int) []string {
+		pt := grid[trial]
+		delivered, applied, err := runTofino(pt.mode, pt.load)
+		return []string{pt.mode, fmt.Sprintf("%.0f%%", pt.load*100),
+			delivered, applied, fmt.Sprintf("%.0f", err)}
+	})
+	for _, row := range rows {
+		res.AddRow(row...)
 	}
 	res.Notef("4 data ports of min-size frames + one dedicated recirculation port (port 4)")
 	res.Notef("the emulation's dequeue notifications compete for pipeline slots and for the")

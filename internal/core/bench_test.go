@@ -46,3 +46,57 @@ func BenchmarkSwitchPacketsPerSecond(b *testing.B) {
 		b.Fatal("nothing forwarded")
 	}
 }
+
+// timerCycleSwitch builds a switch whose only work is a periodic timer
+// event, so advancing the scheduler by one period exercises exactly the
+// per-cycle machinery: timer rearm, event queue, merger slot formation
+// with the reusable empty-packet carrier, handler dispatch, and the
+// cycle lane's self-rearm.
+func timerCycleSwitch(b testing.TB) (*sim.Scheduler, *Switch, sim.Time) {
+	sched := sim.NewScheduler()
+	sw := New(Config{}, EventDriven(), sched)
+	prog := pisa.NewProgram("cycle")
+	prog.HandleFunc(events.TimerExpiration, func(*pisa.Context) {})
+	sw.MustLoad(prog)
+	period := 10 * sw.CycleTime()
+	if err := sw.ConfigureTimer(0, period); err != nil {
+		b.Fatal(err)
+	}
+	// Warm every free list and ring buffer past its steady-state size.
+	sched.Run(sched.Now() + 200*period)
+	return sched, sw, period
+}
+
+// BenchmarkSwitchCycle measures the per-cycle cost of the slot machinery
+// alone (no packets on the wire): one timer event per scheduler advance.
+func BenchmarkSwitchCycle(b *testing.B) {
+	sched, sw, period := timerCycleSwitch(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.Run(sched.Now() + period)
+	}
+	b.StopTimer()
+	if sw.Stats().Cycles == 0 {
+		b.Fatal("no cycles ran")
+	}
+}
+
+// TestSwitchCycleZeroAlloc is the regression guard for the scheduler and
+// merger hot-path pooling: in steady state a pipeline cycle driven by
+// timer events must not allocate at all. Before the free-list scheduler
+// and the cycle lane, every cycle allocated a schedEvent plus a wake
+// closure; a regression here reintroduces per-cycle garbage across every
+// experiment.
+func TestSwitchCycleZeroAlloc(t *testing.T) {
+	sched, sw, period := timerCycleSwitch(t)
+	cyclesBefore := sw.Stats().Cycles
+	if avg := testing.AllocsPerRun(500, func() {
+		sched.Run(sched.Now() + period)
+	}); avg != 0 {
+		t.Errorf("per-cycle hot path allocates %v per period, want 0", avg)
+	}
+	if sw.Stats().Cycles == cyclesBefore {
+		t.Fatal("no cycles ran during the measurement")
+	}
+}

@@ -56,6 +56,11 @@ type Config struct {
 	// (empty-packet) slot that competes with packets for the pipeline.
 	// Only for the ablation; the paper's design always piggybacks.
 	NoPiggyback bool
+	// MergerPriority overrides the order in which the Event Merger
+	// drains event FIFOs into a slot (default: the package-level
+	// MergerPriority). Setting it per switch keeps concurrent
+	// simulations independent.
+	MergerPriority []events.Kind
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +84,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PipelineLatency <= 0 {
 		c.PipelineLatency = 16
+	}
+	if c.MergerPriority == nil {
+		c.MergerPriority = MergerPriority
 	}
 	return c
 }
@@ -145,7 +153,7 @@ type Switch struct {
 	cycleTime   sim.Time
 	nextCycleAt sim.Time
 	cycleIdx    uint64
-	scheduled   bool
+	cycleLane   *sim.Lane
 
 	rxq        [][]*packet.Packet
 	rxHead     []int
@@ -159,7 +167,13 @@ type Switch struct {
 	tmgr   *tm.TM
 	linkUp []bool
 	txBusy []bool
+	txPkt  []*packet.Packet // packet on the wire per port
+	txDone []sim.Action     // per-port tx-complete callbacks, built once
 	evSeq  uint64
+
+	emptyPkt packet.Packet   // reused metadata-carrier slot packet
+	pipeFree []*pipeJob      // free list of pipeline-latency enqueue jobs
+	egrFree  []*pisa.Context // free list of egress contexts (pump re-enters)
 
 	timers []*sim.Ticker
 	gens   []*genTemplate
@@ -192,12 +206,17 @@ func New(cfg Config, arch *Arch, sched *sim.Scheduler) *Switch {
 		s.cycleTime = 1
 	}
 
+	s.cycleLane = sched.NewLane(s.runCycle)
 	s.rxq = make([][]*packet.Packet, cfg.Ports)
 	s.rxHead = make([]int, cfg.Ports)
 	s.linkUp = make([]bool, cfg.Ports)
 	s.txBusy = make([]bool, cfg.Ports)
+	s.txPkt = make([]*packet.Packet, cfg.Ports)
+	s.txDone = make([]sim.Action, cfg.Ports)
 	for i := range s.linkUp {
 		s.linkUp[i] = true
+		port := i
+		s.txDone[i] = func() { s.txComplete(port) }
 	}
 	for k := 0; k < events.NumKinds; k++ {
 		s.evq[k] = events.NewQueue(events.Kind(k), cfg.EventQueueDepth)
@@ -398,7 +417,7 @@ func (s *Switch) havePacketWork() bool {
 }
 
 func (s *Switch) haveEventWork() bool {
-	for _, k := range MergerPriority {
+	for _, k := range s.cfg.MergerPriority {
 		if s.evq[k].Len() > 0 {
 			return true
 		}
@@ -418,9 +437,11 @@ func (s *Switch) haveDrainWork() bool {
 	return false
 }
 
-// wake schedules the next pipeline cycle if work is pending.
+// wake arms the next pipeline cycle if work is pending. The cycle runs
+// on a scheduler lane: re-arming is two field writes, so bursts of
+// back-to-back cycles never touch the event heap and never allocate.
 func (s *Switch) wake() {
-	if s.scheduled {
+	if s.cycleLane.Armed() {
 		return
 	}
 	if !s.havePacketWork() && !s.haveEventWork() && !s.haveDrainWork() {
@@ -430,8 +451,7 @@ func (s *Switch) wake() {
 	if now := s.sched.Now(); at < now {
 		at = now
 	}
-	s.scheduled = true
-	s.sched.At(at, s.runCycle)
+	s.cycleLane.ArmAt(at)
 }
 
 // popPacket selects the slot's packet by merger priority: recirculated,
@@ -480,7 +500,6 @@ func (s *Switch) popPacket() (*packet.Packet, events.Kind, bool) {
 // (packet plus up to one event per kind), the program's handlers run, and
 // the aggregation registers drain with leftover bandwidth.
 func (s *Switch) runCycle() {
-	s.scheduled = false
 	now := s.sched.Now()
 	s.cycleIdx++
 	s.nextCycleAt = now + s.cycleTime
@@ -499,7 +518,7 @@ func (s *Switch) runCycle() {
 	var kinds [events.NumKinds]events.Kind
 	gatherEvents := func() {
 		maxEv := s.cfg.MaxEventsPerSlot
-		for _, k := range MergerPriority {
+		for _, k := range s.cfg.MergerPriority {
 			if maxEv > 0 && nEvents >= maxEv {
 				break
 			}
@@ -529,8 +548,11 @@ func (s *Switch) runCycle() {
 		s.stats.PacketSlots++
 	case nEvents > 0:
 		// No packet on the wire: the merger injects an empty packet to
-		// carry the event metadata (paper §5).
-		pkt = &packet.Packet{Empty: true, InPort: -1}
+		// carry the event metadata (paper §5). The carrier is reused
+		// across slots — it never leaves the pipeline (finishSlot skips
+		// packet-less slots), so one struct per switch suffices.
+		s.emptyPkt = packet.Packet{Empty: true, InPort: -1}
+		pkt = &s.emptyPkt
 		s.stats.EmptySlots++
 	default:
 		// Pure drain cycle: spare bandwidth applies aggregated updates.
@@ -633,13 +655,38 @@ func (s *Switch) finishSlot(ctx *pisa.Context, havePkt bool) {
 	s.enqueueOutDelayed(pkt, ctx.EgressPort, ctx.Queue, ctx.Rank, fh)
 }
 
+// pipeJob carries one packet across the pipeline-latency delay between
+// its slot and the traffic manager. Jobs are pooled on the switch so the
+// per-packet handoff allocates nothing in steady state.
+type pipeJob struct {
+	s              *Switch
+	pkt            *packet.Packet
+	port, q        int
+	rank, flowHash uint64
+}
+
+// Run implements sim.Runner: deliver the packet to the traffic manager
+// and return the job to the pool.
+func (j *pipeJob) Run() {
+	s, pkt, port, q, rank, fh := j.s, j.pkt, j.port, j.q, j.rank, j.flowHash
+	j.pkt = nil
+	s.pipeFree = append(s.pipeFree, j)
+	s.enqueueOut(pkt, port, q, rank, fh)
+}
+
 // enqueueOutDelayed models the pipeline's depth: the packet reaches the
 // traffic manager PipelineLatency cycles after its slot.
 func (s *Switch) enqueueOutDelayed(pkt *packet.Packet, port, q int, rank, flowHash uint64) {
+	var j *pipeJob
+	if n := len(s.pipeFree); n > 0 {
+		j = s.pipeFree[n-1]
+		s.pipeFree = s.pipeFree[:n-1]
+	} else {
+		j = &pipeJob{s: s}
+	}
+	j.pkt, j.port, j.q, j.rank, j.flowHash = pkt, port, q, rank, flowHash
 	delay := sim.Time(s.cfg.PipelineLatency) * s.cycleTime
-	s.sched.After(delay, func() {
-		s.enqueueOut(pkt, port, q, rank, flowHash)
-	})
+	s.sched.AfterRunner(delay, j)
 }
 
 func (s *Switch) enqueueOut(pkt *packet.Packet, port, q int, rank, flowHash uint64) {
@@ -663,10 +710,17 @@ func (s *Switch) pump(port int) {
 		return
 	}
 	// PSA-style egress processing at dequeue time, when bound. The
-	// context must be local: the handler's side effects (Emit ->
-	// enqueueOut -> pump) can re-enter this function for another port.
+	// context comes from a free list rather than being shared: the
+	// handler's side effects (Emit -> enqueueOut -> pump) can re-enter
+	// this function for another port, which then draws its own context.
 	if s.prog != nil && s.prog.Handles(events.EgressPacket) && !pkt.Empty {
-		ctx := &pisa.Context{}
+		var ctx *pisa.Context
+		if n := len(s.egrFree); n > 0 {
+			ctx = s.egrFree[n-1]
+			s.egrFree = s.egrFree[:n-1]
+		} else {
+			ctx = &pisa.Context{}
+		}
 		ctx.Reset(pkt, events.Event{
 			Kind: events.EgressPacket, When: s.sched.Now(), Port: port, PktLen: pkt.Len(),
 		}, s.sched.Now(), s.cycleIdx)
@@ -686,7 +740,9 @@ func (s *Switch) pump(port int) {
 				s.wake()
 			}
 		}
-		if ctx.EgressPort == pisa.PortDrop {
+		dropped := ctx.EgressPort == pisa.PortDrop
+		s.egrFree = append(s.egrFree, ctx)
+		if dropped {
 			s.stats.PipelineDrops++
 			if s.OnDrop != nil {
 				s.OnDrop(pkt, "egress-drop")
@@ -704,20 +760,28 @@ func (s *Switch) pump(port int) {
 		return
 	}
 	s.txBusy[port] = true
+	s.txPkt[port] = pkt
 	ser := s.cfg.LineRate.ByteTime(pkt.Len() + WireOverhead)
-	s.sched.After(ser, func() {
-		s.txBusy[port] = false
-		s.stats.TxPackets++
-		s.stats.TxBytes += uint64(pkt.Len())
-		s.pushEvent(events.Event{
-			Kind: events.PacketTransmitted, When: s.sched.Now(),
-			Port: port, PktLen: pkt.Len(),
-		})
-		if s.OnTransmit != nil {
-			s.OnTransmit(port, pkt)
-		}
-		s.pump(port)
+	s.sched.After(ser, s.txDone[port])
+}
+
+// txComplete finishes a port's in-flight transmission: the packet's last
+// byte has left the wire. One packet is in flight per port at a time, so
+// the pre-built per-port callback needs no per-packet closure.
+func (s *Switch) txComplete(port int) {
+	pkt := s.txPkt[port]
+	s.txPkt[port] = nil
+	s.txBusy[port] = false
+	s.stats.TxPackets++
+	s.stats.TxBytes += uint64(pkt.Len())
+	s.pushEvent(events.Event{
+		Kind: events.PacketTransmitted, When: s.sched.Now(),
+		Port: port, PktLen: pkt.Len(),
 	})
+	if s.OnTransmit != nil {
+		s.OnTransmit(port, pkt)
+	}
+	s.pump(port)
 }
 
 // flowHashOf computes the flow hash of a frame, or 0 for non-IP frames.

@@ -5,20 +5,33 @@ import "container/heap"
 // Action is a callback executed when a scheduled event fires.
 type Action func()
 
+// Runner is implemented by pooled callback objects. AtRunner/AfterRunner
+// accept a Runner instead of a closure so hot paths that would otherwise
+// allocate a capturing closure per call can schedule a long-lived object
+// (typically drawn from a free list) with no per-call allocation.
+type Runner interface {
+	Run()
+}
+
 // Handle identifies a scheduled event so it can be cancelled. The zero
-// Handle is invalid.
+// Handle is invalid. Handles stay safe after the event fires: the
+// scheduler recycles event records through a free list, and each reuse
+// bumps a generation counter that stale handles fail to match.
 type Handle struct {
-	ev *schedEvent
+	ev  *schedEvent
+	gen uint64
 }
 
 // Pending reports whether the event behind h is still waiting to fire
 // (not yet fired and not cancelled).
-func (h Handle) Pending() bool { return h.ev != nil && !h.ev.done && !h.ev.cancelled }
+func (h Handle) Pending() bool {
+	return h.ev != nil && h.ev.gen == h.gen && !h.ev.cancelled
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (h Handle) Cancel() {
-	if h.ev != nil {
+	if h.ev != nil && h.ev.gen == h.gen {
 		h.ev.cancelled = true
 	}
 }
@@ -26,10 +39,11 @@ func (h Handle) Cancel() {
 type schedEvent struct {
 	at        Time
 	seq       uint64 // insertion order; breaks ties deterministically
+	gen       uint64 // bumped on every free-list recycle; validates Handles
 	fn        Action
+	runner    Runner
 	index     int // heap index
 	cancelled bool
-	done      bool
 }
 
 type eventHeap []*schedEvent
@@ -67,6 +81,8 @@ type Scheduler struct {
 	now    Time
 	seq    uint64
 	queue  eventHeap
+	lanes  []*Lane
+	free   []*schedEvent
 	fired  uint64
 	halted bool
 }
@@ -80,22 +96,46 @@ func NewScheduler() *Scheduler {
 func (s *Scheduler) Now() Time { return s.now }
 
 // Pending returns the number of events waiting to fire (including
-// cancelled events not yet discarded).
-func (s *Scheduler) Pending() int { return len(s.queue) }
+// cancelled events not yet discarded and armed lanes).
+func (s *Scheduler) Pending() int {
+	n := len(s.queue)
+	for _, l := range s.lanes {
+		if l.armed {
+			n++
+		}
+	}
+	return n
+}
 
 // Fired returns the total number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
+// alloc draws an event record from the free list, or allocates one.
+func (s *Scheduler) alloc() *schedEvent {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &schedEvent{}
+}
+
+// release returns a fired or cancelled event record to the free list,
+// invalidating outstanding Handles via the generation counter.
+func (s *Scheduler) release(ev *schedEvent) {
+	ev.gen++
+	ev.fn = nil
+	ev.runner = nil
+	ev.cancelled = false
+	s.free = append(s.free, ev)
+}
+
 // At schedules fn to run at the absolute time at. Scheduling in the past
 // (before Now) panics: it would silently reorder causality.
 func (s *Scheduler) At(at Time, fn Action) Handle {
-	if at < s.now {
-		panic("sim: event scheduled in the past")
-	}
-	ev := &schedEvent{at: at, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, ev)
-	return Handle{ev: ev}
+	ev := s.schedule(at)
+	ev.fn = fn
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current time.
@@ -106,6 +146,34 @@ func (s *Scheduler) After(d Time, fn Action) Handle {
 	return s.At(s.now+d, fn)
 }
 
+// AtRunner schedules r.Run to execute at the absolute time at. It is the
+// allocation-free variant of At for pooled callback objects.
+func (s *Scheduler) AtRunner(at Time, r Runner) Handle {
+	ev := s.schedule(at)
+	ev.runner = r
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// AfterRunner schedules r.Run to execute d after the current time.
+func (s *Scheduler) AfterRunner(d Time, r Runner) Handle {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return s.AtRunner(s.now+d, r)
+}
+
+func (s *Scheduler) schedule(at Time) *schedEvent {
+	if at < s.now {
+		panic("sim: event scheduled in the past")
+	}
+	ev := s.alloc()
+	ev.at = at
+	ev.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
 // Every schedules fn to run periodically with the given period, starting
 // one period from now. The returned Ticker can be stopped. fn observes the
 // scheduler time via Now.
@@ -114,7 +182,16 @@ func (s *Scheduler) Every(period Time, fn Action) *Ticker {
 		panic("sim: non-positive period")
 	}
 	t := &Ticker{s: s, period: period, fn: fn}
-	t.arm()
+	t.tick = func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.h = t.s.After(t.period, t.tick)
+		}
+	}
+	t.h = s.After(period, t.tick)
 	return t
 }
 
@@ -123,20 +200,9 @@ type Ticker struct {
 	s       *Scheduler
 	period  Time
 	fn      Action
+	tick    Action // created once; re-arming does not allocate
 	h       Handle
 	stopped bool
-}
-
-func (t *Ticker) arm() {
-	t.h = t.s.After(t.period, func() {
-		if t.stopped {
-			return
-		}
-		t.fn()
-		if !t.stopped {
-			t.arm()
-		}
-	})
 }
 
 // Stop cancels future firings. Safe to call multiple times.
@@ -148,21 +214,121 @@ func (t *Ticker) Stop() {
 // Period returns the ticker's firing period.
 func (t *Ticker) Period() Time { return t.period }
 
+// Lane is a pre-registered periodic-work fast path: one pending
+// occurrence of a fixed callback, re-armed by the callback itself. A
+// self-rearming driver (the switch's pipeline cycle) that went through
+// At would pay a heap push, a heap pop, and a closure allocation per
+// firing; a Lane is re-armed with two field writes and fires from a
+// direct comparison against the heap head.
+//
+// Arming draws a sequence number from the same counter as At, so a lane
+// firing orders against heap events exactly as the equivalent At call
+// would: earlier-armed work fires first at the same instant.
+type Lane struct {
+	s     *Scheduler
+	fn    Action
+	at    Time
+	seq   uint64
+	armed bool
+}
+
+// NewLane registers fn as a lane on the scheduler. The callback is fixed
+// for the lane's lifetime; a scheduler supports a small number of lanes
+// (one per simulated pipeline), scanned linearly when picking the next
+// event.
+func (s *Scheduler) NewLane(fn Action) *Lane {
+	l := &Lane{s: s, fn: fn}
+	s.lanes = append(s.lanes, l)
+	return l
+}
+
+// ArmAt schedules the lane's next firing at the absolute time at.
+// Re-arming an armed lane moves its firing time. Arming in the past
+// panics, like At.
+func (l *Lane) ArmAt(at Time) {
+	if at < l.s.now {
+		panic("sim: lane armed in the past")
+	}
+	l.at = at
+	l.seq = l.s.seq
+	l.s.seq++
+	l.armed = true
+}
+
+// Armed reports whether the lane has a pending firing.
+func (l *Lane) Armed() bool { return l.armed }
+
+// Disarm cancels the pending firing, if any.
+func (l *Lane) Disarm() { l.armed = false }
+
+// nextLane returns the earliest armed lane, or nil.
+func (s *Scheduler) nextLane() *Lane {
+	var best *Lane
+	for _, l := range s.lanes {
+		if !l.armed {
+			continue
+		}
+		if best == nil || l.at < best.at || (l.at == best.at && l.seq < best.seq) {
+			best = l
+		}
+	}
+	return best
+}
+
+// peekHeap discards cancelled events from the heap head and returns the
+// next live event without removing it, or nil.
+func (s *Scheduler) peekHeap() *schedEvent {
+	for len(s.queue) > 0 {
+		ev := s.queue[0]
+		if !ev.cancelled {
+			return ev
+		}
+		heap.Pop(&s.queue)
+		s.release(ev)
+	}
+	return nil
+}
+
 // Step executes the single earliest pending event, advancing the clock to
 // its timestamp. It returns false when no events remain.
 func (s *Scheduler) Step() bool {
-	for len(s.queue) > 0 {
-		ev := heap.Pop(&s.queue).(*schedEvent)
-		if ev.cancelled {
-			continue
-		}
+	ev := s.peekHeap()
+	lane := s.nextLane()
+	switch {
+	case ev == nil && lane == nil:
+		return false
+	case ev != nil && (lane == nil || ev.at < lane.at || (ev.at == lane.at && ev.seq < lane.seq)):
+		heap.Pop(&s.queue)
 		s.now = ev.at
-		ev.done = true
+		fn, runner := ev.fn, ev.runner
+		s.release(ev)
 		s.fired++
-		ev.fn()
-		return true
+		if runner != nil {
+			runner.Run()
+		} else {
+			fn()
+		}
+	default:
+		lane.armed = false
+		s.now = lane.at
+		s.fired++
+		lane.fn()
 	}
-	return false
+	return true
+}
+
+// nextAt returns the time of the earliest pending event and whether one
+// exists.
+func (s *Scheduler) nextAt() (Time, bool) {
+	at := Forever
+	ok := false
+	if ev := s.peekHeap(); ev != nil {
+		at, ok = ev.at, true
+	}
+	if lane := s.nextLane(); lane != nil && lane.at < at {
+		at, ok = lane.at, true
+	}
+	return at, ok
 }
 
 // Run executes events until the queue drains or the clock would pass
@@ -173,16 +339,8 @@ func (s *Scheduler) Run(until Time) uint64 {
 	start := s.fired
 	s.halted = false
 	for !s.halted {
-		if len(s.queue) == 0 {
-			break
-		}
-		// Peek.
-		next := s.queue[0]
-		if next.cancelled {
-			heap.Pop(&s.queue)
-			continue
-		}
-		if next.at > until {
+		at, ok := s.nextAt()
+		if !ok || at > until {
 			break
 		}
 		s.Step()
