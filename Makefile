@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race bench evbench
+.PHONY: check vet build test race fuzz bench evbench
 
 # The gate everything must pass: static checks, a full build, the test
-# suite, and the parallel experiment harness under the race detector.
+# suite, and the concurrency-sensitive packages (parallel experiment
+# harness, fault injection) under the race detector.
 check: vet build test race
 
 vet:
@@ -16,7 +17,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/bench -run TestParallel
+	$(GO) test -race ./internal/bench -run 'TestParallel|TestResilience'
+	$(GO) test -race ./internal/faults
+
+# Coverage-guided fuzzing of the fault-schedule parser/validator.
+# Not part of `check` (open-ended); run it before touching the DSL.
+fuzz:
+	$(GO) test -fuzz FuzzParseSchedule -fuzztime 10s ./internal/faults
 
 # Hot-path micro-benchmarks (scheduler + switch cycle).
 bench:

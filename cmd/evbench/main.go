@@ -3,6 +3,7 @@
 //
 //	evbench                          # run everything
 //	evbench -exp table3              # just the Table 3 reproduction
+//	evbench -experiment resilience   # same flag, long spelling
 //	evbench -list                    # list experiment ids
 //	evbench -parallel 8              # 8 worker goroutines per experiment
 //	evbench -cpuprofile cpu.pprof    # write a CPU profile
@@ -24,6 +25,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "", "experiment id to run (default: all)")
+	flag.StringVar(exp, "experiment", "", "alias for -exp")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	par := flag.Int("parallel", bench.Parallelism(),
 		"worker goroutines for experiment trials (0 = GOMAXPROCS)")

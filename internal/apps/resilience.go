@@ -19,6 +19,10 @@ type FRRConfig struct {
 	// PrefixOf extracts the destination index from a flow (defaults to
 	// the /16-per-destination plan used across the experiments).
 	PrefixOf func(f packet.Flow) int
+	// NoLinkEvents omits the LinkStatusChange handler so the program
+	// loads on a baseline architecture; port state then only changes via
+	// SetPortState — i.e. through the control plane.
+	NoLinkEvents bool
 }
 
 // FRR forwards on the primary port while its link is up and fails over to
@@ -68,15 +72,29 @@ func NewFRR(cfg FRRConfig) (*FRR, *pisa.Program) {
 		}
 		ctx.Drop()
 	})
-	p.HandleFunc(events.LinkStatusChange, func(ctx *pisa.Context) {
-		if ctx.Ev.Port >= 0 && ctx.Ev.Port < len(r.linkUp) {
-			if r.linkUp[ctx.Ev.Port] && !ctx.Ev.Up {
-				r.Failovers++
-			}
-			r.linkUp[ctx.Ev.Port] = ctx.Ev.Up
-		}
-	})
+	if !cfg.NoLinkEvents {
+		p.HandleFunc(events.LinkStatusChange, func(ctx *pisa.Context) {
+			r.SetPortState(ctx.Ev.Port, ctx.Ev.Up)
+		})
+	}
 	return r, p
+}
+
+// SetPortState updates the router's view of a port and counts failover
+// transitions. The event handler calls it with LinkStatusChange state;
+// a baseline architecture, which never sees those events, must instead
+// reach it out-of-band through the control plane (controlplane.Agent.Do
+// from a network OnLinkChange observer) — paying the control channel's
+// latency on every convergence. The resilience experiments compare
+// exactly these two paths.
+func (r *FRR) SetPortState(port int, up bool) {
+	if port < 0 || port >= len(r.linkUp) {
+		return
+	}
+	if r.linkUp[port] && !up {
+		r.Failovers++
+	}
+	r.linkUp[port] = up
 }
 
 // LivenessConfig parameterizes the data-plane liveness monitor (paper §5:

@@ -109,6 +109,7 @@ func runAQM(policy string) []string {
 		queue.Add(float64(sw.TM().PortBytes(1)))
 	})
 	sched.Run(horizon)
+	mustConserve(sw)
 
 	util := float64(txBytes) * 8 / horizon.Seconds() / float64(10*sim.Gbps)
 	return []string{

@@ -1,0 +1,17 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/faults"
+)
+
+// mustConserve runs the faults conservation audit over standalone
+// switches and panics on a violation, so no experiment can render a
+// table from books that don't balance. Experiments built on a netsim
+// network call faults.MustAudit instead, which also checks link-level
+// conservation.
+func mustConserve(sws ...*core.Switch) {
+	if r := faults.AuditSwitches(sws...); !r.OK() {
+		panic("bench: " + r.String())
+	}
+}

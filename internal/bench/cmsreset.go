@@ -40,6 +40,7 @@ func CMSReset() *Result {
 			mustOK(app.Arm(sw, period))
 			driveCMSTraffic(sched, sw, horizon)
 			sched.Run(horizon)
+			mustConserve(sw)
 			j := app.ResetJitter()
 			res.AddRow(period.String(), "timer event",
 				d(len(app.ResetTimes)), "0",
@@ -55,6 +56,7 @@ func CMSReset() *Result {
 			app.StartBaselineResets(sched, agent, period)
 			driveCMSTraffic(sched, sw, horizon)
 			sched.Run(horizon)
+			mustConserve(sw)
 			j := app.ResetJitter()
 			msgsPerSec := float64(agent.Messages) / horizon.Seconds()
 			res.AddRow(period.String(), "control plane",

@@ -57,6 +57,7 @@ func Fig2() *Result {
 			errs.Add(math.Abs(est - truth))
 		})
 		sched.Run(horizon)
+		mustConserve(sw)
 		runs = append(runs, run{"event-driven (enq/deq events)", errs})
 	}
 
@@ -95,6 +96,7 @@ func Fig2() *Result {
 			errs.Add(math.Abs(cur - truth))
 		})
 		sched.Run(horizon)
+		mustConserve(sw)
 		runs = append(runs, run{"baseline PSA (ingress-only estimate)", errs})
 	}
 

@@ -126,6 +126,7 @@ func runLineRate(mode string, size int, load float64, horizon sim.Time) (core.St
 		sw.StopTimer(0)
 	})
 	sched.Run(horizon + 2*sim.Millisecond)
+	mustConserve(sw)
 
 	st := sw.Stats()
 	var offered uint64

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/packet"
 	"repro/internal/sim"
@@ -143,6 +144,7 @@ func runHULAFabric(probePeriod sim.Time) (jain float64, probesPerSec float64, mo
 	})
 
 	sched.Run(horizon)
+	faults.MustAudit(net)
 
 	a, b := float64(uplinkBytes[0]), float64(uplinkBytes[1])
 	if a+b == 0 {

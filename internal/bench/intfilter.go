@@ -65,6 +65,7 @@ func INTFilter() *Result {
 		})
 	}
 	sched.Run(horizon + 5*sim.Millisecond)
+	mustConserve(sw)
 
 	// The unfiltered alternatives, computed from the same run.
 	perPacket := sw.Stats().RxPackets // classic INT: one report per packet

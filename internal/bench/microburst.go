@@ -100,6 +100,7 @@ func Microburst() *Result {
 			}
 		}
 		sched.Run(horizon + 5*sim.Millisecond)
+		mustConserve(sw)
 
 		o := outcome{name: mode, stateBytes: stateBytes, bursts: nBursts}
 		seen := map[uint32]bool{}

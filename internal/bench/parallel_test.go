@@ -58,7 +58,7 @@ func TestParallelRunsAllTrials(t *testing.T) {
 // scheduler and RNGs, and RunParallel slots results by trial index, so
 // worker interleaving must be invisible in the table.
 func TestParallelDeterminism(t *testing.T) {
-	for _, id := range []string{"table2", "fig3"} {
+	for _, id := range []string{"table2", "fig3", "resilience"} {
 		e, ok := Get(id)
 		if !ok {
 			t.Fatalf("experiment %q not registered", id)

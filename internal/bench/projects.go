@@ -6,6 +6,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/events"
+	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/packet"
 	"repro/internal/pisa"
@@ -45,6 +46,7 @@ func Projects() *Result {
 		failAt := 20 * sim.Millisecond
 		sched.At(failAt, func() { net.Fail(link) })
 		sched.Run(60 * sim.Millisecond)
+		faults.MustAudit(net)
 		if len(lv.Notifications) == 1 {
 			latency := lv.Notifications[0].At - failAt
 			res.AddRow("Liveness monitoring", "failure detection latency", latency.String())
@@ -78,6 +80,7 @@ func Projects() *Result {
 			})
 		}
 		sched.Run(50 * sim.Millisecond)
+		mustConserve(sw)
 		worst := 0.0
 		for i, fl := range flows {
 			got := fr.Rate(fr.SlotOf(fl.Hash()))
@@ -121,6 +124,7 @@ func Projects() *Result {
 			}
 		}
 		sched.Run(25 * sim.Millisecond)
+		mustConserve(sw)
 		res.AddRow("Congestion signals (AQM)", "hog packets dropped by policy", d(fr.Dropped))
 		res.AddRow("Congestion signals (AQM)", "mouse delivery", pct(float64(mouseTx), float64(gm.SentPackets)))
 		res.AddRow("Congestion signals (AQM)", "active-flow estimate at end", d(fr.ActiveFlows()))
@@ -162,6 +166,7 @@ func Projects() *Result {
 		failAt := 10 * sim.Millisecond
 		sched.At(failAt, func() { net.Fail(primary) })
 		sched.Run(25 * sim.Millisecond)
+		faults.MustAudit(net)
 		delivered := sink.RxPackets + sink2.RxPackets
 		lost := g.SentPackets - delivered
 		res.AddRow("Fast re-route", "packets lost at failover", d(lost))

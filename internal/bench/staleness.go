@@ -104,6 +104,7 @@ func runStaleness(overspeed, load float64, horizon sim.Time) []string {
 		}
 	})
 	sched.Run(horizon)
+	mustConserve(sw)
 
 	m, _ := occ.Metrics()
 	pending := occ.PendingAbs()

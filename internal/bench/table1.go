@@ -63,6 +63,7 @@ func Table1() *Result {
 		sw.Inject(0, packet.BuildFrame(packet.FrameSpec{Flow: fl, TotalLen: 1000}))
 	}
 	sched.Run(2 * sim.Millisecond)
+	mustConserve(sw)
 
 	res := &Result{
 		ID:    "table1",

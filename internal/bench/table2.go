@@ -57,6 +57,7 @@ func table2HULA() []string {
 		sw.Inject(2, packet.BuildControlFrame(packet.Broadcast, packet.MACFromUint64(9),
 			&packet.Probe{TorID: 1, MaxUtil: 100_000}))
 		sched.Run(2 * sim.Millisecond)
+		mustConserve(sw)
 		hop, util := h.BestHop(1)
 		return []string{"Congestion Aware Fwd", "HULA probes",
 			kindsOf(prog),
@@ -80,6 +81,7 @@ func table2FRR() []string {
 			sched.At(at, func() { sw.Inject(0, packet.BuildFrame(packet.FrameSpec{Flow: fl, TotalLen: 200})) })
 		}
 		sched.Run(5 * sim.Millisecond)
+		mustConserve(sw)
 		return []string{"Network Management", "Fast re-route",
 			kindsOf(prog),
 			fmt.Sprintf("failovers=%d primary=%d backup=%d (0 lost)", r.Failovers, r.RoutedPrimary, r.RoutedBackup)}
@@ -104,6 +106,7 @@ func table2Microburst() []string {
 			sched.At(at, func() { sw.Inject(0, packet.BuildFrame(packet.FrameSpec{Flow: fl, TotalLen: 1500})) })
 		}
 		sched.Run(5 * sim.Millisecond)
+		mustConserve(sw)
 		return []string{"Network Monitoring", "Microburst detection",
 			kindsOf(prog),
 			fmt.Sprintf("detections=%d of culprit flow", len(mb.Detections))}
@@ -128,6 +131,7 @@ func table2FRED() []string {
 			Flow: packet.Flow{Src: packet.IP4(10, 0, 0, 2), Dst: packet.IP4(10, 1, 0, 1), SrcPort: 3, DstPort: 4, Proto: packet.ProtoUDP},
 			Size: workload.FixedSize(300), Rate: 200 * sim.Mbps, Until: 10 * sim.Millisecond})
 		sched.Run(12 * sim.Millisecond)
+		mustConserve(sw)
 		return []string{"Traffic Management", "FRED-like AQM",
 			kindsOf(prog),
 			fmt.Sprintf("dropped=%d passed=%d occupancy samples=%d", fr.Dropped, fr.Passed, len(fr.Samples))}
@@ -152,6 +156,7 @@ func table2Cache() []string {
 			sched.At(at, func() { sw.Inject(0, apps.BuildCacheRequest(client, apps.CacheGet, 5, 0)) })
 		}
 		sched.Run(10 * sim.Millisecond)
+		mustConserve(sw)
 		return []string{"In-Network Computing", "NetCache-style cache",
 			kindsOf(prog),
 			fmt.Sprintf("hits=%d misses=%d (timer-aged LRU)", c.Hits, c.Misses)}

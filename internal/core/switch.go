@@ -61,6 +61,11 @@ type Config struct {
 	// MergerPriority). Setting it per switch keeps concurrent
 	// simulations independent.
 	MergerPriority []events.Kind
+	// EventOverflow overrides the overflow policy of individual event
+	// FIFOs. Kinds not present get the defaults: LinkStatusChange
+	// coalesces per port (a flap burst collapses to each port's final
+	// state), every other kind drops the newest event when full.
+	EventOverflow map[events.Kind]events.OverflowPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +124,8 @@ type Stats struct {
 	DrainSlots         uint64 // cycles run purely to drain aggregation
 	EventsMerged       [events.NumKinds]uint64
 	EventsDropped      [events.NumKinds]uint64 // FIFO-full losses
+	EventsCoalesced    [events.NumKinds]uint64 // merged into a pending same-port event
+	EventsShed         [events.NumKinds]uint64 // evicted oldest under DropOldest pressure
 	Recirculated       uint64
 	Generated          uint64
 }
@@ -171,9 +178,10 @@ type Switch struct {
 	txDone []sim.Action     // per-port tx-complete callbacks, built once
 	evSeq  uint64
 
-	emptyPkt packet.Packet   // reused metadata-carrier slot packet
-	pipeFree []*pipeJob      // free list of pipeline-latency enqueue jobs
-	egrFree  []*pisa.Context // free list of egress contexts (pump re-enters)
+	emptyPkt     packet.Packet   // reused metadata-carrier slot packet
+	pipeFree     []*pipeJob      // free list of pipeline-latency enqueue jobs
+	pipeInFlight int             // packets between their slot and the TM
+	egrFree      []*pisa.Context // free list of egress contexts (pump re-enters)
 
 	timers []*sim.Ticker
 	gens   []*genTemplate
@@ -219,7 +227,13 @@ func New(cfg Config, arch *Arch, sched *sim.Scheduler) *Switch {
 		s.txDone[i] = func() { s.txComplete(port) }
 	}
 	for k := 0; k < events.NumKinds; k++ {
-		s.evq[k] = events.NewQueue(events.Kind(k), cfg.EventQueueDepth)
+		kind := events.Kind(k)
+		s.evq[k] = events.NewQueue(kind, cfg.EventQueueDepth)
+		pol, ok := cfg.EventOverflow[kind]
+		if !ok && kind == events.LinkStatusChange {
+			pol = events.CoalescePort
+		}
+		s.evq[k].SetPolicy(pol)
 	}
 	s.tmgr = tm.New(tm.Config{
 		Ports:         cfg.Ports,
@@ -283,11 +297,31 @@ func (s *Switch) pushEvent(e events.Event) {
 	}
 	e.Seq = s.evSeq
 	s.evSeq++
-	if !s.evq[e.Kind].Push(e) {
+	switch s.evq[e.Kind].Offer(e) {
+	case events.Coalesced:
+		s.stats.EventsCoalesced[e.Kind]++
+	case events.StoredShed:
+		s.stats.EventsShed[e.Kind]++
+	case events.Dropped:
 		s.stats.EventsDropped[e.Kind]++
 		return
 	}
 	s.wake()
+}
+
+// InjectEvent offers an event directly to the merger's FIFOs, bypassing
+// the hardware sources. It models a misbehaving or saturated event
+// source; internal/faults uses it for event-queue pressure storms. The
+// event is subject to the same architecture/program gating and overflow
+// policy as any other, and ok reports whether its state survived
+// (stored or coalesced).
+func (s *Switch) InjectEvent(e events.Event) (ok bool) {
+	if !s.arch.Supports(e.Kind) || s.prog == nil || !s.prog.Handles(e.Kind) {
+		return false
+	}
+	before := s.evq[e.Kind].Drops()
+	s.pushEvent(e)
+	return s.evq[e.Kind].Drops() == before
 }
 
 // Inject delivers a fully received frame to an input port (the caller
@@ -671,6 +705,7 @@ func (j *pipeJob) Run() {
 	s, pkt, port, q, rank, fh := j.s, j.pkt, j.port, j.q, j.rank, j.flowHash
 	j.pkt = nil
 	s.pipeFree = append(s.pipeFree, j)
+	s.pipeInFlight--
 	s.enqueueOut(pkt, port, q, rank, fh)
 }
 
@@ -685,6 +720,7 @@ func (s *Switch) enqueueOutDelayed(pkt *packet.Packet, port, q int, rank, flowHa
 		j = &pipeJob{s: s}
 	}
 	j.pkt, j.port, j.q, j.rank, j.flowHash = pkt, port, q, rank, flowHash
+	s.pipeInFlight++
 	delay := sim.Time(s.cfg.PipelineLatency) * s.cycleTime
 	s.sched.AfterRunner(delay, j)
 }
@@ -732,6 +768,7 @@ func (s *Switch) pump(port int) {
 			s.pushEvent(e)
 		}
 		for _, g := range ctx.Generated {
+			s.stats.Generated++
 			gp := &packet.Packet{Data: g.Data, InPort: -1, Gen: true}
 			if g.Port >= 0 {
 				s.enqueueOut(gp, g.Port, 0, 0, flowHashOf(g.Data))
@@ -798,3 +835,48 @@ func (s *Switch) EventQueueLen(k events.Kind) int { return s.evq[k].Len() }
 
 // EventQueueDrops reports FIFO-full losses for a kind.
 func (s *Switch) EventQueueDrops(k events.Kind) uint64 { return s.evq[k].Drops() }
+
+// EventQueueHighWater reports the peak occupancy of a kind's FIFO.
+func (s *Switch) EventQueueHighWater(k events.Kind) int { return s.evq[k].HighWater() }
+
+// EventQueue exposes one merger FIFO read-only for audits.
+func (s *Switch) EventQueue(k events.Kind) *events.Queue { return s.evq[k] }
+
+// Inventory reports where packets currently sit inside the switch. With
+// the switch's lifetime counters it closes the packet-conservation
+// identity faults.Audit checks:
+//
+//	RxPackets + Generated == TxPackets + PipelineDrops +
+//	    TxDroppedLinkDown + TM overflow drops + Inventory sum
+type Inventory struct {
+	RxQueued   int // received, not yet through a pipeline slot
+	Recirc     int // waiting on the recirculation path
+	GenQueued  int // generated, waiting for a slot
+	InPipeline int // between their slot and the traffic manager
+	Buffered   int // in traffic-manager output queues
+	OnWire     int // being serialized onto a port right now
+}
+
+// Total sums the inventory.
+func (inv Inventory) Total() int {
+	return inv.RxQueued + inv.Recirc + inv.GenQueued + inv.InPipeline + inv.Buffered + inv.OnWire
+}
+
+// Inventory snapshots the switch's in-flight packet population.
+func (s *Switch) Inventory() Inventory {
+	var inv Inventory
+	for p := range s.rxq {
+		inv.RxQueued += len(s.rxq[p]) - s.rxHead[p]
+	}
+	inv.Recirc = len(s.recirc)
+	inv.GenQueued = len(s.genq)
+	inv.InPipeline = s.pipeInFlight
+	enq, deq, _, _ := s.tmgr.Stats()
+	inv.Buffered = int(enq - deq)
+	for _, pkt := range s.txPkt {
+		if pkt != nil {
+			inv.OnWire++
+		}
+	}
+	return inv
+}

@@ -1,0 +1,27 @@
+package faults
+
+import "testing"
+
+// FuzzParseSchedule drives the DSL parser with arbitrary input. The
+// contract under fuzzing: never panic, and any schedule the parser
+// accepts must itself pass Validate (the parser cannot launder an
+// invalid spec into the engine).
+func FuzzParseSchedule(f *testing.F) {
+	f.Add("seed 42\nflap link=0 start=1ms down=50us up=150us count=100")
+	f.Add("loss link=1 pgb=0.01 pbg=0.2 lossbad=0.8\ncorrupt link=1 prob=0.05")
+	f.Add("storm switch=0 event=LinkStatusChange port=3 burst=32 count=5 period=100us")
+	f.Add("cpdelay agent=0 factor=10 start=1ms end=4ms # slow control plane")
+	f.Add("pause host=0 start=2ms end=3ms\nreorder link=0 prob=0.1 delay=20us")
+	f.Add("dup link=0 prob=1e-3 delay=0.5us\nseed 0xdeadbeef")
+	f.Add("flap link=0 down=9999999999s period=1ps count=1")
+	f.Add("seed 18446744073709551615")
+	f.Fuzz(func(t *testing.T, text string) {
+		sch, err := ParseSchedule(text)
+		if err != nil {
+			return
+		}
+		if verr := sch.Validate(); verr != nil {
+			t.Fatalf("parser accepted an invalid schedule: %v\ninput: %q", verr, text)
+		}
+	})
+}

@@ -1,0 +1,219 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/events"
+	"repro/internal/sim"
+)
+
+// ParseSchedule reads the line-based fault-schedule DSL. One directive
+// per line; '#' starts a comment; blank lines are skipped.
+//
+//	seed 42
+//	flap    link=0 start=1ms period=500us down=50us count=100
+//	loss    link=1 pgb=0.01 pbg=0.2 lossbad=0.8
+//	corrupt link=1 prob=0.05
+//	reorder link=0 prob=0.1 delay=20us
+//	dup     link=0 prob=0.02 delay=5us
+//	pause   host=0 start=2ms end=3ms
+//	storm   switch=0 event=LinkStatusChange port=3 burst=32 count=5 period=100us start=1ms
+//	cpdelay agent=0 factor=10 start=1ms end=4ms
+//
+// Keys map onto Spec fields; durations take ps/ns/us/ms/s suffixes with
+// an optional decimal ("50us", "2.5ms"). The parser never panics — fuzzed
+// via FuzzParseSchedule — and the result always passes Validate.
+func ParseSchedule(text string) (*Schedule, error) {
+	sch := &Schedule{}
+	for ln, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := parseLine(sch, fields); err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+	}
+	if err := sch.Validate(); err != nil {
+		return nil, err
+	}
+	return sch, nil
+}
+
+var kindWords = map[string]Kind{
+	"flap":    FlapStorm,
+	"loss":    GELoss,
+	"corrupt": Corrupt,
+	"reorder": Reorder,
+	"dup":     Duplicate,
+	"pause":   HostPause,
+	"storm":   EventStorm,
+	"cpdelay": CPDelay,
+}
+
+func parseLine(sch *Schedule, fields []string) error {
+	word := strings.ToLower(fields[0])
+	if word == "seed" {
+		if len(fields) != 2 {
+			return fmt.Errorf("seed takes exactly one value")
+		}
+		v, err := strconv.ParseUint(fields[1], 0, 64)
+		if err != nil {
+			return fmt.Errorf("bad seed %q", fields[1])
+		}
+		sch.Seed = v
+		return nil
+	}
+	kind, ok := kindWords[word]
+	if !ok {
+		return fmt.Errorf("unknown directive %q", fields[0])
+	}
+	spec := Spec{Kind: kind, Port: -1}
+	for _, f := range fields[1:] {
+		key, val, found := strings.Cut(f, "=")
+		if !found || val == "" {
+			return fmt.Errorf("want key=value, got %q", f)
+		}
+		if err := setField(&spec, strings.ToLower(key), val); err != nil {
+			return err
+		}
+	}
+	sch.Specs = append(sch.Specs, spec)
+	return nil
+}
+
+func setField(s *Spec, key, val string) error {
+	switch key {
+	case "link", "switch", "host", "agent", "count", "burst", "port":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("bad integer %s=%q", key, val)
+		}
+		switch key {
+		case "link":
+			s.Link = n
+		case "switch":
+			s.Switch = n
+		case "host":
+			s.Host = n
+		case "agent":
+			s.Agent = n
+		case "count":
+			s.Count = n
+		case "burst":
+			s.Burst = n
+		case "port":
+			s.Port = n
+		}
+	case "start", "end", "period", "down", "up", "delay":
+		d, err := parseDuration(val)
+		if err != nil {
+			return err
+		}
+		switch key {
+		case "start":
+			s.Start = d
+		case "end":
+			s.End = d
+		case "period":
+			s.Period = d
+		case "down":
+			s.Down = d
+		case "up":
+			s.Up = d
+		case "delay":
+			s.Delay = d
+		}
+	case "pgb", "pbg", "lossgood", "lossbad", "prob", "factor":
+		p, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("bad number %s=%q", key, val)
+		}
+		switch key {
+		case "pgb":
+			s.PGoodBad = p
+		case "pbg":
+			s.PBadGood = p
+		case "lossgood":
+			s.LossGood = p
+		case "lossbad":
+			s.LossBad = p
+		case "prob":
+			s.Prob = p
+		case "factor":
+			s.Factor = p
+		}
+	case "jitter":
+		switch strings.ToLower(val) {
+		case "true", "1", "yes":
+			s.Jitter = true
+		case "false", "0", "no":
+			s.Jitter = false
+		default:
+			return fmt.Errorf("bad bool jitter=%q", val)
+		}
+	case "event":
+		k, err := parseEventKind(val)
+		if err != nil {
+			return err
+		}
+		s.Event = k
+	default:
+		return fmt.Errorf("unknown key %q", key)
+	}
+	return nil
+}
+
+// parseEventKind resolves an events.Kind by its Table 1 name
+// (case-insensitive) or numeric value.
+func parseEventKind(val string) (events.Kind, error) {
+	for k := 0; k < events.NumKinds; k++ {
+		if strings.EqualFold(events.Kind(k).String(), val) {
+			return events.Kind(k), nil
+		}
+	}
+	if n, err := strconv.Atoi(val); err == nil && n >= 0 && n < events.NumKinds {
+		return events.Kind(n), nil
+	}
+	return 0, fmt.Errorf("unknown event kind %q", val)
+}
+
+// durUnits, longest suffix first so "ns" is tried before "s".
+var durUnits = []struct {
+	suffix string
+	unit   sim.Time
+}{
+	{"ps", sim.Picosecond},
+	{"ns", sim.Nanosecond},
+	{"us", sim.Microsecond},
+	{"ms", sim.Millisecond},
+	{"s", sim.Second},
+}
+
+// parseDuration reads a duration literal like "50us", "2.5ms", or "3s".
+// sim.Time is integer picoseconds; fractions resolve exactly at that
+// granularity. A bare number with no suffix is rejected — durations in
+// schedules must be explicit about their unit.
+func parseDuration(val string) (sim.Time, error) {
+	for _, u := range durUnits {
+		num, ok := strings.CutSuffix(val, u.suffix)
+		if !ok || num == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(num, 64)
+		if err != nil || f != f || f < 0 {
+			return 0, fmt.Errorf("bad duration %q", val)
+		}
+		d := f * float64(u.unit)
+		if d > float64(1<<62) {
+			return 0, fmt.Errorf("duration %q overflows", val)
+		}
+		return sim.Time(d), nil
+	}
+	return 0, fmt.Errorf("bad duration %q (want e.g. 50us, 2.5ms)", val)
+}

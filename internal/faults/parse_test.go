@@ -1,0 +1,124 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/events"
+	"repro/internal/sim"
+)
+
+func TestParseScheduleFull(t *testing.T) {
+	text := `
+# resilience workload
+seed 42
+flap    link=0 start=1ms period=500us down=50us count=100 jitter=yes
+loss    link=1 pgb=0.01 pbg=0.2 lossgood=0.001 lossbad=0.8
+corrupt link=1 prob=0.05 start=1ms end=2ms
+reorder link=0 prob=0.1 delay=20us
+dup     link=0 prob=0.02 delay=5us
+pause   host=2 start=2ms end=3ms
+storm   switch=1 event=LinkStatusChange port=3 burst=32 count=5 period=100us start=1ms
+cpdelay agent=0 factor=10 start=1ms end=4ms
+`
+	sch, err := ParseSchedule(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Seed != 42 || len(sch.Specs) != 8 {
+		t.Fatalf("seed=%d specs=%d, want 42/8", sch.Seed, len(sch.Specs))
+	}
+	f := sch.Specs[0]
+	if f.Kind != FlapStorm || f.Link != 0 || f.Start != sim.Millisecond ||
+		f.Period != 500*sim.Microsecond || f.Down != 50*sim.Microsecond ||
+		f.Count != 100 || !f.Jitter {
+		t.Errorf("flap spec = %+v", f)
+	}
+	ge := sch.Specs[1]
+	if ge.Kind != GELoss || ge.PGoodBad != 0.01 || ge.PBadGood != 0.2 ||
+		ge.LossGood != 0.001 || ge.LossBad != 0.8 {
+		t.Errorf("loss spec = %+v", ge)
+	}
+	storm := sch.Specs[6]
+	if storm.Kind != EventStorm || storm.Switch != 1 || storm.Event != events.LinkStatusChange ||
+		storm.Port != 3 || storm.Burst != 32 || storm.Count != 5 {
+		t.Errorf("storm spec = %+v", storm)
+	}
+	cp := sch.Specs[7]
+	if cp.Kind != CPDelay || cp.Factor != 10 || cp.End != 4*sim.Millisecond {
+		t.Errorf("cpdelay spec = %+v", cp)
+	}
+}
+
+func TestParseDuration(t *testing.T) {
+	cases := []struct {
+		in   string
+		want sim.Time
+	}{
+		{"1ps", sim.Picosecond},
+		{"250ns", 250 * sim.Nanosecond},
+		{"50us", 50 * sim.Microsecond},
+		{"2.5ms", 2500 * sim.Microsecond},
+		{"1s", sim.Second},
+		{"0.5us", 500 * sim.Nanosecond},
+	}
+	for _, c := range cases {
+		got, err := parseDuration(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("parseDuration(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "5", "us", "-1us", "1.2.3ms", "1e400s", "NaNms"} {
+		if _, err := parseDuration(bad); err == nil {
+			t.Errorf("parseDuration(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		text string
+		want string // substring of the error
+	}{
+		{"bogus link=0", "unknown directive"},
+		{"seed", "exactly one value"},
+		{"seed banana", "bad seed"},
+		{"flap link=0", "down duration"},
+		{"flap link=0 down=50us up=100us", "count or end"},
+		{"flap link=0 down=1ms period=1ms count=5", "shorter than period"},
+		{"flap link=-1 down=50us up=100us count=5", "negative target"},
+		{"loss link=0 pgb=1.5", "[0,1]"},
+		{"reorder link=0 prob=0.5", "positive delay"},
+		{"pause host=0 start=1ms", "end time"},
+		{"storm switch=0 event=UserEvent", "burst"},
+		{"storm switch=0 event=Nope burst=4 count=1", "event kind"},
+		{"cpdelay agent=0 factor=0.5 end=1ms", "factor"},
+		{"flap link=0 frobnicate=1", "unknown key"},
+		{"flap link", "key=value"},
+		{"dup link=0 prob=0.1 end=1ms start=2ms", "before start"},
+	}
+	for _, c := range cases {
+		_, err := ParseSchedule(c.text)
+		if err == nil {
+			t.Errorf("ParseSchedule(%q) accepted", c.text)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseSchedule(%q) error %q, want substring %q", c.text, err, c.want)
+		}
+	}
+}
+
+func TestSpecSeedIndependence(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		s := specSeed(7, i)
+		if seen[s] {
+			t.Fatalf("specSeed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	if specSeed(7, 0) == specSeed(8, 0) {
+		t.Error("specSeed ignores the schedule seed")
+	}
+}

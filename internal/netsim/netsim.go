@@ -27,24 +27,70 @@ func (e endpoint) String() string {
 	return fmt.Sprintf("%s:%d", e.sw.Name(), e.port)
 }
 
+// Deliverable is one copy of a frame an impairment lets through: the
+// (possibly mutated) bytes plus extra latency beyond the link's
+// propagation delay. Returning the same frame twice models duplication;
+// different ExtraDelay values model reordering.
+type Deliverable struct {
+	Data       []byte
+	ExtraDelay sim.Time
+}
+
+// Impairment decides the fate of each frame entering a link: it returns
+// the copies to deliver (nil or empty means the frame is dropped). The
+// data slice passed in is a private copy of the sender's frame, so an
+// impairment may mutate it freely without aliasing a buffer the sender
+// retains.
+type Impairment func(data []byte) []Deliverable
+
 // Link is a point-to-point connection between two endpoints. Packet
 // serialization is modeled by the transmitting device (switch TX or host
-// NIC); the link adds propagation latency and can be failed.
+// NIC); the link adds propagation latency, can be failed, and can carry
+// an Impairment (loss, corruption, reordering, duplication).
 type Link struct {
-	net     *Network
-	a, b    endpoint
-	latency sim.Time
-	up      bool
+	net      *Network
+	a, b     endpoint
+	latency  sim.Time
+	up       bool
+	impair   Impairment
+	inFlight uint64
 
-	// Delivered counts packets that traversed the link in either
-	// direction; Lost counts packets dropped mid-flight or sent while
-	// the link was down.
-	Delivered uint64
-	Lost      uint64
+	// Sent counts frames offered to the link in either direction.
+	// Delivered counts frames that reached the far endpoint. Losses are
+	// split by where they happened: LostAtSend counts frames sent while
+	// the link was already down, LostInFlight counts frames caught
+	// mid-propagation by a Fail, and Dropped counts frames an Impairment
+	// discarded. Duplicated counts the extra copies an Impairment
+	// created (they add to Delivered). Conservation, which faults.Audit
+	// checks, is
+	//
+	//	Sent + Duplicated == Delivered + LostAtSend + LostInFlight +
+	//	                     Dropped + InFlight()
+	Sent         uint64
+	Delivered    uint64
+	LostAtSend   uint64
+	LostInFlight uint64
+	Dropped      uint64
+	Duplicated   uint64
 }
 
 // Up reports the link state.
 func (l *Link) Up() bool { return l.up }
+
+// Latency returns the link's one-way propagation delay.
+func (l *Link) Latency() sim.Time { return l.latency }
+
+// InFlight returns the number of frames currently propagating.
+func (l *Link) InFlight() uint64 { return l.inFlight }
+
+// Lost returns the total frames lost to link failures (both at send and
+// mid-flight; impairment drops are counted separately in Dropped).
+func (l *Link) Lost() uint64 { return l.LostAtSend + l.LostInFlight }
+
+// SetImpair installs (or, with nil, removes) the link's impairment. Only
+// one impairment is attached at a time; compose stages before installing
+// (internal/faults chains its injectors into a single Impairment).
+func (l *Link) SetImpair(f Impairment) { l.impair = f }
 
 // String describes the link.
 func (l *Link) String() string { return fmt.Sprintf("%v<->%v", l.a, l.b) }
@@ -62,11 +108,15 @@ type Host struct {
 
 	// RxPackets and RxBytes count deliveries.
 	RxPackets, RxBytes uint64
+	// HeldFrames counts sends deferred while the host was paused.
+	HeldFrames uint64
 
-	net  *Network
-	link *Link
-	rate sim.Rate
-	busy sim.Time // NIC busy-until for serialization
+	net    *Network
+	link   *Link
+	rate   sim.Rate
+	busy   sim.Time // NIC busy-until for serialization
+	paused bool
+	held   [][]byte
 }
 
 // Send transmits a frame from the host into the network, honoring NIC
@@ -75,6 +125,11 @@ type Host struct {
 func (h *Host) Send(data []byte) {
 	if h.link == nil {
 		panic("netsim: host " + h.Name + " is not attached")
+	}
+	if h.paused {
+		h.held = append(h.held, data)
+		h.HeldFrames++
+		return
 	}
 	now := h.net.sched.Now()
 	start := now
@@ -86,6 +141,28 @@ func (h *Host) Send(data []byte) {
 	h.net.sched.At(h.busy, func() {
 		h.net.deliver(h.link, endpoint{host: h}, data)
 	})
+}
+
+// Pause stalls the host: subsequent Sends are held (in order) until
+// Resume. It models an endpoint that freezes — a VM pause, a GC stall —
+// without losing its transmit queue.
+func (h *Host) Pause() { h.paused = true }
+
+// Paused reports whether the host is paused.
+func (h *Host) Paused() bool { return h.paused }
+
+// Resume releases a paused host: frames held during the pause are sent
+// immediately, in order, through the normal NIC serialization path.
+func (h *Host) Resume() {
+	if !h.paused {
+		return
+	}
+	h.paused = false
+	held := h.held
+	h.held = nil
+	for _, data := range held {
+		h.Send(data)
+	}
 }
 
 func (h *Host) receive(data []byte) {
@@ -105,6 +182,11 @@ type Network struct {
 	// byPort finds the link attached to a switch port.
 	byPort map[*core.Switch]map[int]*Link
 	taps   map[*core.Switch]func(port int, data []byte)
+
+	// OnLinkChange, when set, observes every Fail and Repair (after the
+	// attached switches saw their LinkStatusChange events). Control-plane
+	// baselines subscribe here to model out-of-band failure detection.
+	OnLinkChange func(l *Link, up bool)
 }
 
 // New builds an empty network.
@@ -143,6 +225,9 @@ func (n *Network) TapTransmit(sw *core.Switch, f func(port int, data []byte)) {
 
 // Switches lists the registered switches.
 func (n *Network) Switches() []*core.Switch { return n.switches }
+
+// Hosts lists the registered hosts.
+func (n *Network) Hosts() []*Host { return n.hosts }
 
 // NewHost creates a host with a derived MAC.
 func (n *Network) NewHost(name string, ip packet.IP) *Host {
@@ -185,17 +270,42 @@ func (n *Network) Attach(h *Host, sw *core.Switch, port int, latency sim.Time) *
 
 // deliver carries a frame across a link from the given source endpoint.
 func (n *Network) deliver(l *Link, from endpoint, data []byte) {
+	l.Sent++
 	if !l.up {
-		l.Lost++
+		l.LostAtSend++
 		return
 	}
 	to := l.b
 	if from == l.b {
 		to = l.a
 	}
-	n.sched.After(l.latency, func() {
+	if l.impair == nil {
+		n.propagate(l, to, data, l.latency)
+		return
+	}
+	// The impairment gets a private copy: a corruptor that flips bytes
+	// must not alias a buffer the sender (or a tap) still holds.
+	outs := l.impair(append([]byte(nil), data...))
+	if len(outs) == 0 {
+		l.Dropped++
+		return
+	}
+	if len(outs) > 1 {
+		l.Duplicated += uint64(len(outs) - 1)
+	}
+	for _, o := range outs {
+		n.propagate(l, to, o.Data, l.latency+o.ExtraDelay)
+	}
+}
+
+// propagate schedules one frame's arrival at the far endpoint. A Fail
+// while the frame is in flight loses it (LostInFlight).
+func (n *Network) propagate(l *Link, to endpoint, data []byte, delay sim.Time) {
+	l.inFlight++
+	n.sched.After(delay, func() {
+		l.inFlight--
 		if !l.up {
-			l.Lost++
+			l.LostInFlight++
 			return
 		}
 		l.Delivered++
@@ -221,6 +331,9 @@ func (n *Network) Fail(l *Link) {
 	if l.b.sw != nil {
 		l.b.sw.SetLink(l.b.port, false)
 	}
+	if n.OnLinkChange != nil {
+		n.OnLinkChange(l, false)
+	}
 }
 
 // Repair brings a link back up.
@@ -234,6 +347,9 @@ func (n *Network) Repair(l *Link) {
 	}
 	if l.b.sw != nil {
 		l.b.sw.SetLink(l.b.port, true)
+	}
+	if n.OnLinkChange != nil {
+		n.OnLinkChange(l, true)
 	}
 }
 
