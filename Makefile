@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench evbench
+.PHONY: check vet build test race fuzz bench evbench bench-json bench-smoke
 
 # The gate everything must pass: static checks, a full build, the test
 # suite, and the concurrency-sensitive packages (parallel experiment
-# harness, fault injection) under the race detector.
+# harness, partitioned engine, fault injection) under the race detector.
 check: vet build test race
 
 vet:
@@ -17,7 +17,9 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/bench -run 'TestParallel|TestResilience'
+	$(GO) test -race ./internal/bench -run 'TestParallel|TestResilience|TestDomain|TestScale'
+	$(GO) test -race ./internal/sim -run 'TestPartition|TestAtWire|TestRunBefore'
+	$(GO) test -race ./internal/netsim -run 'TestPartitioned|TestScheduleLinkChange|TestCrossDomain'
 	$(GO) test -race ./internal/faults
 
 # Coverage-guided fuzzing of the fault-schedule parser/validator.
@@ -25,10 +27,22 @@ race:
 fuzz:
 	$(GO) test -fuzz FuzzParseSchedule -fuzztime 10s ./internal/faults
 
-# Hot-path micro-benchmarks (scheduler + switch cycle).
+# Hot-path micro-benchmarks (scheduler + switch cycle + event queue).
 bench:
-	$(GO) test -bench 'BenchmarkScheduler|BenchmarkSwitch' -benchmem -run xxx ./internal/sim ./internal/core
+	$(GO) test -bench 'BenchmarkScheduler|BenchmarkSwitch|BenchmarkQueue' -benchmem -run xxx ./internal/sim ./internal/core ./internal/events
 
 # Regenerate every table and figure.
 evbench:
 	$(GO) run ./cmd/evbench
+
+# Machine-readable perf reports: BENCH_<experiment>.json per experiment
+# (wall time, allocations, cycles/s where measured).
+bench-json:
+	$(GO) run ./cmd/evbench -benchjson .
+
+# Quick cross-check that the partitioned engine changes nothing: every
+# experiment's table diffed between -domains 1 and -domains 2.
+bench-smoke:
+	$(GO) run ./cmd/evbench -domains 1 > /tmp/evbench.d1.txt
+	$(GO) run ./cmd/evbench -domains 2 > /tmp/evbench.d2.txt
+	diff /tmp/evbench.d1.txt /tmp/evbench.d2.txt && echo "bench-smoke: -domains 1 == -domains 2"

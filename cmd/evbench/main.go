@@ -6,11 +6,14 @@
 //	evbench -experiment resilience   # same flag, long spelling
 //	evbench -list                    # list experiment ids
 //	evbench -parallel 8              # 8 worker goroutines per experiment
+//	evbench -domains 4               # split topologies across 4 partition domains
+//	evbench -benchjson .             # also write BENCH_<id>.json per experiment
 //	evbench -cpuprofile cpu.pprof    # write a CPU profile
 //	evbench -memprofile mem.pprof    # write an allocation profile
 //
-// Output is identical for every -parallel value: trials are distributed
-// across workers but result rows are emitted in trial order.
+// Output is identical for every -parallel and -domains value: trials are
+// distributed across workers but result rows are emitted in trial order,
+// and partitioned topologies execute byte-identically to single-threaded.
 package main
 
 import (
@@ -29,6 +32,10 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	par := flag.Int("parallel", bench.Parallelism(),
 		"worker goroutines for experiment trials (0 = GOMAXPROCS)")
+	domains := flag.Int("domains", bench.Domains(),
+		"partition domains for topology experiments (intra-trial parallelism)")
+	benchjson := flag.String("benchjson", "",
+		"write BENCH_<experiment>.json reports into `dir`")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write allocation profile to `file`")
 	flag.Parse()
@@ -44,6 +51,7 @@ func main() {
 		*par = runtime.GOMAXPROCS(0)
 	}
 	bench.SetParallelism(*par)
+	bench.SetDomains(*domains)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -59,6 +67,21 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	runOne := func(e bench.Experiment) {
+		if *benchjson == "" {
+			fmt.Println(e.Run().String())
+			return
+		}
+		res, rep := bench.RunReport(e)
+		fmt.Println(res.String())
+		path, err := bench.WriteReport(*benchjson, rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "evbench: wrote %s\n", path)
+	}
+
 	run := func() {
 		if *exp != "" {
 			e, ok := bench.Get(*exp)
@@ -66,11 +89,11 @@ func main() {
 				fmt.Fprintf(os.Stderr, "evbench: unknown experiment %q (try -list)\n", *exp)
 				os.Exit(1)
 			}
-			fmt.Println(e.Run().String())
+			runOne(e)
 			return
 		}
 		for _, e := range bench.All() {
-			fmt.Println(e.Run().String())
+			runOne(e)
 		}
 	}
 	run()

@@ -18,6 +18,22 @@ type Result struct {
 	Cols  []string
 	Rows  [][]string
 	Notes []string
+	// Perf holds wall-clock samples attached by experiments that time
+	// real execution. They are host-dependent, so String deliberately
+	// omits them — the rendered table stays byte-identical across hosts,
+	// parallelism, and domain counts. They flow into -benchjson output.
+	Perf []PerfSample
+}
+
+// PerfSample is one host wall-clock measurement of a simulation run.
+type PerfSample struct {
+	Label        string  `json:"label"`
+	Domains      int     `json:"domains"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Cycles       uint64  `json:"cycles"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	// Speedup is relative to the same workload's 1-domain sample.
+	Speedup float64 `json:"speedup,omitempty"`
 }
 
 // AddRow appends a formatted row.

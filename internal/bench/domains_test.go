@@ -1,0 +1,69 @@
+package bench
+
+import "testing"
+
+// withDomains runs fn with the partition-domain knob pinned to n,
+// restoring the previous setting afterwards.
+func withDomains(n int, fn func()) {
+	prev := Domains()
+	SetDomains(n)
+	defer SetDomains(prev)
+	fn()
+}
+
+// TestDomainDeterminism is the parallel engine's acceptance check at the
+// experiment level: every domain-aware experiment renders byte-identical
+// output at 1, 2, and 4 partition domains. The topologies differ (leaf-
+// spine fabric, FRR diamond under a flap storm, replication chain), so
+// together they cover cross-domain data traffic, scheduled link changes,
+// and multi-hop request/reply paths.
+func TestDomainDeterminism(t *testing.T) {
+	for _, id := range []string{"hula", "resilience", "netchain"} {
+		e, ok := Get(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		var base string
+		withDomains(1, func() { base = e.Run().String() })
+		for _, n := range []int{2, 4} {
+			var got string
+			withDomains(n, func() { got = e.Run().String() })
+			if got != base {
+				t.Errorf("%s: -domains %d diverges from -domains 1:\n--- domains=1 ---\n%s\n--- domains=%d ---\n%s",
+					id, n, base, n, got)
+			}
+		}
+	}
+}
+
+// TestScaleDigestsMatch runs the scale sweep and checks its built-in
+// self-check: every multi-domain row's digest equals the 1-domain
+// baseline for the same fabric.
+func TestScaleDigestsMatch(t *testing.T) {
+	res := ScaleBench()
+	for _, row := range res.Rows {
+		if row[len(row)-1] == "NO" {
+			t.Errorf("digest mismatch in scale row %v", row)
+		}
+	}
+	if len(res.Perf) != len(res.Rows) {
+		t.Errorf("perf samples = %d, want one per row (%d)", len(res.Perf), len(res.Rows))
+	}
+	// Perf samples are host-dependent and must not leak into the
+	// rendered table: stripping them changes nothing.
+	withPerf := res.String()
+	res.Perf = nil
+	if res.String() != withPerf {
+		t.Error("Result.String renders Perf samples")
+	}
+}
+
+// TestSetDomainsClamps verifies values below 1 are clamped.
+func TestSetDomainsClamps(t *testing.T) {
+	prev := Domains()
+	defer SetDomains(prev)
+	SetDomains(0)
+	if got := Domains(); got != 1 {
+		t.Errorf("Domains after SetDomains(0) = %d, want 1", got)
+	}
+}

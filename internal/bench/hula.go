@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"repro/internal/apps"
 	"repro/internal/core"
@@ -42,9 +43,16 @@ func HULABench() *Result {
 	}
 	rows := RunParallel(len(configs), func(trial int) []string {
 		cfg := configs[trial]
-		jain, pps, moved := runHULAFabric(cfg.period)
+		m := runHULAFabric(fabricSpec{
+			tors: 2, spines: 2,
+			probePeriod: cfg.period,
+			horizon:     50 * sim.Millisecond,
+			flows:       12,
+			flowRate:    660 * sim.Mbps,
+			domains:     Domains(),
+		})
 		return []string{cfg.name, cfg.period.String(),
-			fmt.Sprintf("%.3f", jain), fmt.Sprintf("%.0f", pps), d(moved)}
+			fmt.Sprintf("%.3f", m.jain), fmt.Sprintf("%.0f", m.probesPerSec), d(m.moved)}
 	})
 	for _, row := range rows {
 		res.AddRow(row...)
@@ -55,102 +63,204 @@ func HULABench() *Result {
 	return res
 }
 
-// runHULAFabric runs the fabric for a fixed horizon with the given probe
-// period and returns the Jain fairness of tor0's uplink usage, the probe
-// rate, and the number of best-hop changes.
-func runHULAFabric(probePeriod sim.Time) (jain float64, probesPerSec float64, moved int) {
-	const horizon = 50 * sim.Millisecond
-	sched := sim.NewScheduler()
-	net := netsim.New(sched)
+// fabricSpec sizes one HULA leaf-spine run. tors and spines should be
+// powers of two (the HULA dest-ToR mapping folds the IP's second octet
+// modulo the ToR count).
+type fabricSpec struct {
+	tors, spines int
+	probePeriod  sim.Time
+	horizon      sim.Time
+	// flows is the number of CBR flows offered at tor0's host, spread
+	// round-robin over the other ToRs; flowRate is each flow's rate.
+	flows    int
+	flowRate sim.Rate
+	// domains splits the fabric's switches across that many partition
+	// domains (switch index modulo domains); 1 runs single-scheduler.
+	domains int
+}
 
-	refresh := probePeriod
+// fabricMetrics is what one fabric run measures. digest folds every
+// deterministic observable (per-switch and per-link counters, uplink
+// bytes, hop moves) into one value, so a scale sweep can assert that
+// different domain counts executed the identical simulation.
+type fabricMetrics struct {
+	jain         float64
+	probesPerSec float64
+	moved        int
+	cycles       uint64
+	txPackets    uint64
+	digest       uint64
+}
+
+// runHULAFabric runs a leaf-spine fabric for the spec'd horizon and
+// returns its metrics. The simulation is byte-identical for every
+// domains value: switches interact only through links, cross-domain
+// delivery is ordered by the scheduler wire band, and all RNG streams
+// are split deterministically at setup.
+func runHULAFabric(spec fabricSpec) fabricMetrics {
+	if spec.domains < 1 {
+		spec.domains = 1
+	}
+	nsw := spec.tors + spec.spines
+	if spec.domains > nsw {
+		spec.domains = nsw
+	}
+
+	// Domain d drives switch indices i with i % domains == d; with
+	// domains 1 everything lands on one scheduler and netsim runs the
+	// classic single-threaded engine.
+	var net *netsim.Network
+	schedFor := func(i int) *sim.Scheduler { return net.Scheduler() }
+	if spec.domains > 1 {
+		part := sim.NewPartition(spec.domains)
+		net = netsim.NewPartitioned(part)
+		schedFor = func(i int) *sim.Scheduler { return part.Sched(i % spec.domains) }
+	} else {
+		net = netsim.New(sim.NewScheduler())
+	}
+
+	refresh := spec.probePeriod
 	if refresh < 100*sim.Microsecond {
 		refresh = 100 * sim.Microsecond
 	}
 
-	mkTor := func(name string, id uint16) (*core.Switch, *apps.HULA) {
-		sw := core.New(core.Config{Name: name}, core.EventDriven(), sched)
+	uplinks := make([]int, spec.spines)
+	for j := range uplinks {
+		uplinks[j] = 1 + j
+	}
+	tors := make([]*core.Switch, spec.tors)
+	hulas := make([]*apps.HULA, spec.tors)
+	for i := range tors {
+		sw := core.New(core.Config{
+			Name: fmt.Sprintf("tor%d", i), Ports: 1 + spec.spines,
+		}, core.EventDriven(), schedFor(i))
 		h, prog := apps.NewHULA(apps.HULAConfig{
-			TorID: id, ProbePeriod: probePeriod,
-			UplinkPorts: []int{1, 2}, HostPort: 0, Tors: 2,
+			TorID: uint16(i), ProbePeriod: spec.probePeriod,
+			UplinkPorts: uplinks, HostPort: 0, Tors: spec.tors,
 		})
 		sw.MustLoad(prog)
-		return sw, h
+		tors[i], hulas[i] = sw, h
 	}
-	tor0, h0 := mkTor("tor0", 0)
-	tor1, h1 := mkTor("tor1", 1)
-	mkSpine := func(name string) (*core.Switch, *apps.HULA) {
-		sw := core.New(core.Config{Name: name}, core.EventDriven(), sched)
-		h, prog := apps.SpineProbeRelay(2, 2, func(tor int) int { return tor })
+	spines := make([]*core.Switch, spec.spines)
+	spineHulas := make([]*apps.HULA, spec.spines)
+	for j := range spines {
+		sw := core.New(core.Config{
+			Name: fmt.Sprintf("spine%d", j), Ports: spec.tors,
+		}, core.EventDriven(), schedFor(spec.tors+j))
+		h, prog := apps.SpineProbeRelay(spec.tors, spec.tors, func(tor int) int { return tor })
 		sw.MustLoad(prog)
-		return sw, h
+		spines[j], spineHulas[j] = sw, h
 	}
-	sp0, sh0 := mkSpine("spine0")
-	sp1, sh1 := mkSpine("spine1")
-	for _, sw := range []*core.Switch{tor0, tor1, sp0, sp1} {
+	for _, sw := range tors {
 		net.AddSwitch(sw)
 	}
-	net.ConnectLeafSpine([]*core.Switch{tor0, tor1}, []*core.Switch{sp0, sp1}, sim.Microsecond)
-	h1host := net.NewHost("h1", packet.IP4(10, 1, 0, 2))
-	net.Attach(h1host, tor1, 0, 0)
-	h0host := net.NewHost("h0", packet.IP4(10, 0, 0, 2))
-	net.Attach(h0host, tor0, 0, 0)
+	for _, sw := range spines {
+		net.AddSwitch(sw)
+	}
+	net.ConnectLeafSpine(tors, spines, sim.Microsecond)
 
-	mustOK(h0.Attach(tor0, refresh))
-	mustOK(h1.Attach(tor1, refresh))
-	mustOK(sh0.AttachSpine(sp0, refresh))
-	mustOK(sh1.AttachSpine(sp1, refresh))
+	// One host per ToR (attach order matches the seed's 2x2 wiring:
+	// highest-numbered ToR hosts first, tor0's sender last).
+	hosts := make([]*netsim.Host, spec.tors)
+	for i := spec.tors - 1; i >= 1; i-- {
+		hosts[i] = net.NewHost(fmt.Sprintf("h%d", i), packet.IP4(10, byte(i), 0, 2))
+		net.Attach(hosts[i], tors[i], 0, 0)
+	}
+	hosts[0] = net.NewHost("h0", packet.IP4(10, 0, 0, 2))
+	net.Attach(hosts[0], tors[0], 0, 0)
 
-	// Offered: 12 flows from h0 toward tor1 hosts, together ~8 Gb/s, so
-	// a single uplink (10G) would run hot while two balanced uplinks
-	// stay comfortable.
+	for i, h := range hulas {
+		mustOK(h.Attach(tors[i], refresh))
+	}
+	for j, h := range spineHulas {
+		mustOK(h.AttachSpine(spines[j], refresh))
+	}
+
+	// Offered load: spec.flows CBR flows from h0, destinations spread
+	// over the other ToRs (with 2 ToRs: all toward tor1, together hot
+	// enough that one uplink would saturate while balanced uplinks stay
+	// comfortable).
 	rng := sim.NewRNG(7)
-	for i := 0; i < 12; i++ {
+	h0host := hosts[0]
+	for i := 0; i < spec.flows; i++ {
+		dstTor := 1 + i%(spec.tors-1)
 		fl := packet.Flow{
-			Src: packet.IP4(10, 0, 0, 2), Dst: packet.IP4(10, 1, byte(i), 5),
+			Src: packet.IP4(10, 0, 0, 2), Dst: packet.IP4(10, byte(dstTor), byte(i), 5),
 			SrcPort: uint16(3000 + i), DstPort: 80, Proto: packet.ProtoUDP,
 		}
-		g := workload.NewGen(sched, rng.Split(), func(d []byte) { h0host.Send(d) })
+		g := workload.NewGen(h0host.Scheduler(), rng.Split(), func(d []byte) { h0host.Send(d) })
 		g.StartCBR(workload.CBRConfig{
 			Flow: fl, Size: workload.FixedSize(1500),
-			Rate: 660 * sim.Mbps, Until: horizon,
+			Rate: spec.flowRate, Until: spec.horizon,
 		})
 	}
 
-	// Track tor0 uplink bytes and best-hop changes.
-	uplinkBytes := [2]uint64{}
-	net.TapTransmit(tor0, func(port int, data []byte) {
+	// Track tor0 uplink bytes and best-hop changes (both live in tor0's
+	// domain: the tap runs on tor0's scheduler, as does the observer).
+	uplinkBytes := make([]uint64, spec.spines)
+	net.TapTransmit(tors[0], func(port int, data []byte) {
 		// Count only data traffic, not probes.
 		if packet.EtherTypeOf(data) != packet.EtherTypeIPv4 {
 			return
 		}
-		switch port {
-		case 1:
-			uplinkBytes[0] += uint64(len(data))
-		case 2:
-			uplinkBytes[1] += uint64(len(data))
+		if port >= 1 && port <= spec.spines {
+			uplinkBytes[port-1] += uint64(len(data))
 		}
 	})
 
+	var m fabricMetrics
+	h0 := hulas[0]
 	lastHop := -1
-	sched.Every(100*sim.Microsecond, func() {
+	tors[0].Scheduler().Every(100*sim.Microsecond, func() {
 		hop, _ := h0.BestHop(1)
 		if hop != lastHop && hop >= 0 {
 			if lastHop >= 0 {
-				moved++
+				m.moved++
 			}
 			lastHop = hop
 		}
 	})
 
-	sched.Run(horizon)
+	net.Run(spec.horizon)
 	faults.MustAudit(net)
 
-	a, b := float64(uplinkBytes[0]), float64(uplinkBytes[1])
-	if a+b == 0 {
-		return 0, 0, moved
+	var sum, sumsq float64
+	for _, b := range uplinkBytes {
+		sum += float64(b)
+		sumsq += float64(b) * float64(b)
 	}
-	jain = (a + b) * (a + b) / (2 * (a*a + b*b))
-	probesPerSec = float64(h0.ProbesSent) / horizon.Seconds()
-	return jain, probesPerSec, moved
+	if sum > 0 {
+		m.jain = sum * sum / (float64(spec.spines) * sumsq)
+	}
+	m.probesPerSec = float64(h0.ProbesSent) / spec.horizon.Seconds()
+
+	dig := fnv.New64a()
+	put := func(vs ...uint64) {
+		var buf [8]byte
+		for _, v := range vs {
+			for k := 0; k < 8; k++ {
+				buf[k] = byte(v >> (8 * k))
+			}
+			dig.Write(buf[:])
+		}
+	}
+	for _, sw := range net.Switches() {
+		st := sw.Stats()
+		m.cycles += st.Cycles
+		m.txPackets += st.TxPackets
+		put(st.RxPackets, st.TxPackets, st.Cycles, st.Generated, st.PipelineDrops)
+	}
+	for _, l := range net.Links() {
+		for dir := 0; dir < 2; dir++ {
+			c := l.Counters(dir)
+			put(c.Sent, c.Delivered, c.LostAtSend, c.LostInFlight, c.InFlight())
+		}
+	}
+	put(uint64(m.moved))
+	put(uplinkBytes...)
+	for _, h := range hosts {
+		put(h.RxPackets, h.RxBytes)
+	}
+	m.digest = dig.Sum64()
+	return m
 }

@@ -63,12 +63,19 @@ func TestParallelDeterminism(t *testing.T) {
 		if !ok {
 			t.Fatalf("experiment %q not registered", id)
 		}
-		var serial, parallel string
+		var serial, parallel, both string
 		withParallelism(1, func() { serial = e.Run().String() })
 		withParallelism(8, func() { parallel = e.Run().String() })
+		// Both knobs at once: trials spread across 8 workers AND each
+		// trial's topology split across 2 partition domains.
+		withParallelism(8, func() { withDomains(2, func() { both = e.Run().String() }) })
 		if serial != parallel {
 			t.Errorf("%s: -parallel 1 and -parallel 8 output differ:\n--- serial ---\n%s\n--- parallel ---\n%s",
 				id, serial, parallel)
+		}
+		if serial != both {
+			t.Errorf("%s: -parallel 8 -domains 2 diverges from serial:\n--- serial ---\n%s\n--- both ---\n%s",
+				id, serial, both)
 		}
 	}
 }

@@ -117,8 +117,25 @@ func runResilience(tr resilienceTrial, seed uint64) resilienceMetrics {
 		stormSpan  = 25 * sim.Millisecond
 		downTime   = 100 * sim.Microsecond
 	)
-	sched := sim.NewScheduler()
-	net := netsim.New(sched)
+	// Two switches, so at most two domains: frr | sink. The storm is
+	// bounded, so it unrolls into scheduled per-side link changes that
+	// work across the domain boundary; all measurement hooks (link-change
+	// observer, transmit tap, control-plane agent) live on frr's domain.
+	domains := Domains()
+	if domains > 2 {
+		domains = 2
+	}
+	var sched, sinkSched *sim.Scheduler
+	var net *netsim.Network
+	if domains > 1 {
+		part := sim.NewPartition(domains)
+		net = netsim.NewPartitioned(part)
+		sched, sinkSched = part.Sched(0), part.Sched(1)
+	} else {
+		sched = sim.NewScheduler()
+		sinkSched = sched
+		net = netsim.New(sched)
+	}
 
 	arch := core.EventDriven()
 	if !tr.eventDriven {
@@ -141,7 +158,7 @@ func runResilience(tr resilienceTrial, seed uint64) resilienceMetrics {
 	})
 	frrSw.MustLoad(prog)
 
-	sink := core.New(core.Config{Name: "sink"}, core.Baseline(), sched)
+	sink := core.New(core.Config{Name: "sink"}, core.Baseline(), sinkSched)
 	sink.MustLoad(fwdProgram(2))
 	net.AddSwitch(frrSw)
 	net.AddSwitch(sink)
@@ -199,7 +216,7 @@ func runResilience(tr resilienceTrial, seed uint64) resilienceMetrics {
 		Flow: fl, Size: workload.FixedSize(200),
 		Rate: 320 * sim.Mbps, Until: horizon - 2*sim.Millisecond,
 	})
-	sched.Run(horizon)
+	net.Run(horizon)
 
 	if rep := faults.Audit(net); !rep.OK() {
 		panic("resilience: " + rep.String())
@@ -208,7 +225,7 @@ func runResilience(tr resilienceTrial, seed uint64) resilienceMetrics {
 	m := resilienceMetrics{
 		flaps:     eng.Stats(0).Flaps,
 		failovers: int(r.Failovers),
-		sent:      net.Links()[0].Sent,
+		sent:      net.Links()[0].Sent(),
 		delivered: dst.RxPackets,
 	}
 	m.lost = m.sent - m.delivered

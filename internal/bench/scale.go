@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "scale",
+		Paper: "§5 event-driven processing at scale: multi-core conservative parallel execution",
+		Run:   ScaleBench,
+	})
+}
+
+// ScaleBench sweeps fabric size × partition domain count on the HULA
+// leaf-spine topology and checks the conservative parallel engine's two
+// claims at once: the simulation is byte-identical at every domain count
+// (the digest column self-checks against the 1-domain baseline), and
+// wall-clock time drops as domains spread across cores (recorded in the
+// Perf samples / BENCH_scale.json, not in the table — the table must stay
+// host-independent).
+//
+// Rows run serially, never through RunParallel: each row should own the
+// machine so its wall-clock sample means something.
+func ScaleBench() *Result {
+	res := &Result{
+		ID:    "scale",
+		Title: "parallel simulation scaling: fabric size x domain count",
+		Cols:  []string{"fabric", "domains", "switches", "cycles", "tx packets", "digest", "identical"},
+	}
+	type fab struct {
+		tors, spines, flows int
+		rate                sim.Rate
+		horizon             sim.Time
+	}
+	fabrics := []fab{
+		{tors: 4, spines: 4, flows: 12, rate: 500 * sim.Mbps, horizon: 20 * sim.Millisecond},
+		{tors: 8, spines: 8, flows: 28, rate: 400 * sim.Mbps, horizon: 20 * sim.Millisecond},
+	}
+	for _, f := range fabrics {
+		label := fmt.Sprintf("%dx%d", f.tors, f.spines)
+		var base fabricMetrics
+		var baseWall time.Duration
+		for di, domains := range []int{1, 2, 4} {
+			start := time.Now()
+			m := runHULAFabric(fabricSpec{
+				tors: f.tors, spines: f.spines,
+				probePeriod: 200 * sim.Microsecond, horizon: f.horizon,
+				flows: f.flows, flowRate: f.rate,
+				domains: domains,
+			})
+			wall := time.Since(start)
+			ident := "baseline"
+			if di == 0 {
+				base, baseWall = m, wall
+			} else if m == base {
+				ident = "yes"
+			} else {
+				ident = "NO"
+			}
+			res.AddRow(label, d(domains), d(f.tors+f.spines),
+				d(m.cycles), d(m.txPackets), fmt.Sprintf("%016x", m.digest), ident)
+			res.Perf = append(res.Perf, PerfSample{
+				Label: label, Domains: domains,
+				WallSeconds:  wall.Seconds(),
+				Cycles:       m.cycles,
+				CyclesPerSec: float64(m.cycles) / wall.Seconds(),
+				Speedup:      baseWall.Seconds() / wall.Seconds(),
+			})
+		}
+	}
+	res.Notef("digest folds every switch/link/host counter; 'identical' checks it against the 1-domain baseline")
+	res.Notef("wall-clock, cycles/s, and speedup per row are host-dependent and live in the Perf samples (make bench-json)")
+	res.Notef("rows run serially so each perf sample owns the machine; speedup tracks available cores")
+	return res
+}

@@ -251,6 +251,15 @@ func (s *Switch) Name() string { return s.cfg.Name }
 // Config returns the effective configuration.
 func (s *Switch) Config() Config { return s.cfg }
 
+// Scheduler returns the scheduler driving this switch. In a partitioned
+// simulation (sim.Partition) it identifies the switch's domain: every
+// event the switch schedules — pipeline cycles, timers, generators,
+// transmit completions — lands on this scheduler, so a switch built on a
+// partition domain runs entirely within that domain. The switch keeps no
+// cross-switch mutable state; all inter-switch interaction flows through
+// netsim links, which is what makes domain-parallel execution safe.
+func (s *Switch) Scheduler() *sim.Scheduler { return s.sched }
+
 // Arch returns the switch's architecture description.
 func (s *Switch) Arch() *Arch { return s.arch }
 

@@ -1,0 +1,89 @@
+package events
+
+import (
+	"testing"
+)
+
+// TestCoalesceWrappedRegion exercises the coalesce scan across the ring
+// wrap boundary: the pending same-port event lives in the wrapped run
+// (indices below head), which the two-run scan must still find.
+func TestCoalesceWrappedRegion(t *testing.T) {
+	q := NewQueue(LinkStatusChange, 4)
+	q.SetPolicy(CoalescePort)
+	// Advance head past the midpoint: fill, drain 3, refill.
+	for p := 0; p < 4; p++ {
+		q.Offer(Event{Kind: LinkStatusChange, Port: p})
+	}
+	for i := 0; i < 3; i++ {
+		q.Pop()
+	}
+	// head = 3; these occupy wrapped slots 0 and 1.
+	q.Offer(Event{Kind: LinkStatusChange, Port: 10})
+	q.Offer(Event{Kind: LinkStatusChange, Port: 11})
+	if got := q.Offer(Event{Kind: LinkStatusChange, Port: 11, Up: true}); got != Coalesced {
+		t.Fatalf("Offer into wrapped region = %v, want Coalesced", got)
+	}
+	// Drain: port 3 (pre-wrap survivor), 10, then the merged 11.
+	want := []struct {
+		port int
+		up   bool
+	}{{3, false}, {10, false}, {11, true}}
+	for _, w := range want {
+		e, ok := q.Pop()
+		if !ok || e.Port != w.port || e.Up != w.up {
+			t.Fatalf("Pop = %+v ok=%v, want port=%d up=%v", e, ok, w.port, w.up)
+		}
+	}
+}
+
+// TestCoalesceZeroAlloc pins the storm hot path at 0 allocs/op: a full
+// CoalescePort queue absorbing same-port updates must not allocate.
+func TestCoalesceZeroAlloc(t *testing.T) {
+	q := NewQueue(LinkStatusChange, 8)
+	q.SetPolicy(CoalescePort)
+	for p := 0; p < 8; p++ {
+		q.Offer(Event{Kind: LinkStatusChange, Port: p})
+	}
+	up := false
+	allocs := testing.AllocsPerRun(1000, func() {
+		up = !up
+		for p := 0; p < 8; p++ {
+			if q.Offer(Event{Kind: LinkStatusChange, Port: p, Up: up}) != Coalesced {
+				t.Fatal("expected Coalesced")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("coalesce hot path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkQueueCoalesce measures the CoalescePort merge path under a
+// link-flap storm pattern: the queue holds one pending event per port
+// and every offer coalesces (the common case inside a storm, where the
+// merger drains far slower than faults arrive).
+func BenchmarkQueueCoalesce(b *testing.B) {
+	const ports = 8
+	q := NewQueue(LinkStatusChange, ports)
+	q.SetPolicy(CoalescePort)
+	for p := 0; p < ports; p++ {
+		q.Offer(Event{Kind: LinkStatusChange, Port: p})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Offer(Event{Kind: LinkStatusChange, Port: i & (ports - 1), Up: i&1 == 0})
+	}
+}
+
+// BenchmarkQueueOfferPop measures the plain store/drain cycle for
+// comparison with the coalesce path.
+func BenchmarkQueueOfferPop(b *testing.B) {
+	q := NewQueue(BufferEnqueue, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Offer(Event{Kind: BufferEnqueue, Port: i & 63})
+		q.Pop()
+	}
+}

@@ -75,11 +75,11 @@ func MustAudit(net *netsim.Network) {
 // lost to a down link (at send or mid-flight), dropped by an impairment,
 // or still propagating; impairment duplicates add to the offered side.
 func auditLink(r *Report, i int, l *netsim.Link) {
-	in := l.Sent + l.Duplicated
-	out := l.Delivered + l.LostAtSend + l.LostInFlight + l.Dropped + l.InFlight()
+	in := l.Sent() + l.Duplicated()
+	out := l.Delivered() + l.LostAtSend() + l.LostInFlight() + l.Dropped() + l.InFlight()
 	r.check(in == out,
 		"link %d (%v): sent %d + dup %d != delivered %d + lostSend %d + lostFlight %d + dropped %d + inflight %d",
-		i, l, l.Sent, l.Duplicated, l.Delivered, l.LostAtSend, l.LostInFlight, l.Dropped, l.InFlight())
+		i, l, l.Sent(), l.Duplicated(), l.Delivered(), l.LostAtSend(), l.LostInFlight(), l.Dropped(), l.InFlight())
 }
 
 // auditSwitch checks the packet-inventory identity and, per event kind,

@@ -77,27 +77,42 @@ func Apply(net *netsim.Network, sch *Schedule, opts Options) (*Engine, error) {
 			if err != nil {
 				return nil, fmt.Errorf("spec %d: %w", i, err)
 			}
-			armFlapStorm(net, sched, l, s, rng, st)
+			if s.Count > 0 || s.End > 0 {
+				// Bounded storm: the trace is a pure function of the
+				// schedule, so unroll it into timed transitions now.
+				// ScheduleLinkChange arms both endpoints for the same
+				// instants, which also covers cross-domain links.
+				unrollFlapStorm(net, l, s, rng, st)
+			} else {
+				if l.Cross() {
+					return nil, fmt.Errorf("spec %d: unbounded flap storm on cross-domain link %v (set count or end)", i, l)
+				}
+				armFlapStorm(net, l.Scheduler(), l, s, rng, st)
+			}
 		case GELoss, Corrupt, Reorder, Duplicate:
 			l, err := linkAt(net, s.Link)
 			if err != nil {
 				return nil, fmt.Errorf("spec %d: %w", i, err)
 			}
-			chains[l] = append(chains[l], frameStage(sched, s, rng, st))
+			if l.Cross() {
+				return nil, fmt.Errorf("spec %d: impairment on cross-domain link %v (impairments keep shared state; keep the link inside one domain)", i, l)
+			}
+			chains[l] = append(chains[l], frameStage(l.Scheduler(), s, rng, st))
 		case HostPause:
 			hosts := net.Hosts()
 			if s.Host >= len(hosts) {
 				return nil, fmt.Errorf("spec %d: host %d of %d", i, s.Host, len(hosts))
 			}
 			h := hosts[s.Host]
-			sched.At(laterOf(s.Start, sched.Now()), h.Pause)
-			sched.At(laterOf(s.End, sched.Now()), h.Resume)
+			hs := h.Scheduler()
+			hs.At(laterOf(s.Start, hs.Now()), h.Pause)
+			hs.At(laterOf(s.End, hs.Now()), h.Resume)
 		case EventStorm:
 			sws := net.Switches()
 			if s.Switch >= len(sws) {
 				return nil, fmt.Errorf("spec %d: switch %d of %d", i, s.Switch, len(sws))
 			}
-			armEventStorm(sched, sws[s.Switch], s, rng, st)
+			armEventStorm(sws[s.Switch].Scheduler(), sws[s.Switch], s, rng, st)
 		case CPDelay:
 			if s.Agent >= len(opts.Agents) {
 				return nil, fmt.Errorf("spec %d: agent %d of %d", i, s.Agent, len(opts.Agents))
@@ -136,7 +151,44 @@ func laterOf(a, b sim.Time) sim.Time {
 	return b
 }
 
-// armFlapStorm schedules the fail/repair loop. With Period the loop runs
+// unrollFlapStorm expands a bounded storm (Count or End set) into
+// statically scheduled link transitions, replaying exactly the cadence,
+// jitter draws, and stop conditions of the live loop in armFlapStorm.
+// Static unrolling is what makes storms partition-safe: every transition
+// is armed on both endpoints' domains before the run starts, so no
+// domain ever has to reach across a boundary mid-window.
+func unrollFlapStorm(net *netsim.Network, l *netsim.Link, s *Spec, rng *sim.RNG, st *SpecStats) {
+	t := laterOf(s.Start, l.Scheduler().Now())
+	for {
+		if s.End > 0 && t > s.End {
+			return
+		}
+		st.Flaps++
+		down, up := s.Down, s.Up
+		if s.Jitter {
+			down = rng.ExpTime(s.Down)
+			if s.Up > 0 {
+				up = rng.ExpTime(s.Up)
+			}
+		}
+		if s.Period > 0 && down >= s.Period {
+			down = s.Period - 1
+		}
+		net.ScheduleLinkChange(l, t, false)
+		net.ScheduleLinkChange(l, t+down, true)
+		if s.Count > 0 && st.Flaps >= s.Count {
+			return
+		}
+		if s.Period > 0 {
+			t += s.Period
+		} else {
+			t += down + up
+		}
+	}
+}
+
+// armFlapStorm schedules the fail/repair loop for an unbounded storm
+// (no Count or End: it cannot be unrolled). With Period the loop runs
 // on a fixed cadence (jittered down-times are clamped below the period so
 // the link is back up before the next flap); without it, each cycle is
 // down + up long.

@@ -111,8 +111,8 @@ func TestGELossDropsAndConserves(t *testing.T) {
 	if st.Lost == 0 || st.Lost == N {
 		t.Errorf("lost = %d, want bursty partial loss", st.Lost)
 	}
-	if l.Dropped != st.Lost {
-		t.Errorf("link dropped %d != injector lost %d", l.Dropped, st.Lost)
+	if l.Dropped() != st.Lost {
+		t.Errorf("link dropped %d != injector lost %d", l.Dropped(), st.Lost)
 	}
 	if h2.RxPackets != N-st.Lost {
 		t.Errorf("h2 rx = %d, want %d", h2.RxPackets, N-st.Lost)
@@ -153,8 +153,8 @@ func TestImpairmentChainComposes(t *testing.T) {
 		t.Error("independent corruption produced identical copies (aliasing?)")
 	}
 	l := net.Links()[0]
-	if l.Duplicated != 1 || l.Sent != 1 || l.Delivered != 2 {
-		t.Errorf("link sent=%d dup=%d delivered=%d, want 1/1/2", l.Sent, l.Duplicated, l.Delivered)
+	if l.Duplicated() != 1 || l.Sent() != 1 || l.Delivered() != 2 {
+		t.Errorf("link sent=%d dup=%d delivered=%d, want 1/1/2", l.Sent(), l.Duplicated(), l.Delivered())
 	}
 	if r := Audit(net); !r.OK() {
 		t.Fatal(r)
@@ -287,7 +287,7 @@ func TestAuditCatchesImbalance(t *testing.T) {
 	if r := Audit(net); !r.OK() {
 		t.Fatalf("clean run failed audit: %v", r)
 	}
-	net.Links()[0].Sent += 3
+	net.Links()[0].Counters(0).Sent += 3
 	r := Audit(net)
 	if r.OK() {
 		t.Fatal("audit missed a cooked Sent counter")

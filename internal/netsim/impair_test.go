@@ -40,17 +40,17 @@ func TestLostAtSendVsLostInFlight(t *testing.T) {
 	sched.At(4*sim.Microsecond, func() { h1.Send(testFrame(100)) })
 	sched.Run(10 * sim.Millisecond)
 
-	if l.LostInFlight != 1 {
-		t.Errorf("LostInFlight = %d, want 1", l.LostInFlight)
+	if l.LostInFlight() != 1 {
+		t.Errorf("LostInFlight = %d, want 1", l.LostInFlight())
 	}
-	if l.LostAtSend != 1 {
-		t.Errorf("LostAtSend = %d, want 1", l.LostAtSend)
+	if l.LostAtSend() != 1 {
+		t.Errorf("LostAtSend = %d, want 1", l.LostAtSend())
 	}
 	if l.Lost() != 2 {
 		t.Errorf("Lost() = %d, want 2", l.Lost())
 	}
-	if l.Sent != 3 || l.Delivered != 1 {
-		t.Errorf("Sent=%d Delivered=%d, want 3/1", l.Sent, l.Delivered)
+	if l.Sent() != 3 || l.Delivered() != 1 {
+		t.Errorf("Sent=%d Delivered=%d, want 3/1", l.Sent(), l.Delivered())
 	}
 	if h2.RxPackets != 1 {
 		t.Errorf("h2 rx = %d, want 1", h2.RxPackets)
@@ -90,8 +90,8 @@ func TestImpairGetsPrivateCopy(t *testing.T) {
 	if bytes.Equal(got, orig) {
 		t.Error("receiver saw uncorrupted bytes; impairment had no effect")
 	}
-	if l.Delivered != 1 || l.Sent != 1 {
-		t.Errorf("Sent=%d Delivered=%d, want 1/1", l.Sent, l.Delivered)
+	if l.Delivered() != 1 || l.Sent() != 1 {
+		t.Errorf("Sent=%d Delivered=%d, want 1/1", l.Sent(), l.Delivered())
 	}
 }
 
@@ -118,17 +118,17 @@ func TestImpairDropAndDuplicate(t *testing.T) {
 	}
 	sched.Run(10 * sim.Millisecond)
 
-	if l.Dropped != 3 {
-		t.Errorf("Dropped = %d, want 3", l.Dropped)
+	if l.Dropped() != 3 {
+		t.Errorf("Dropped = %d, want 3", l.Dropped())
 	}
-	if l.Duplicated != 3 {
-		t.Errorf("Duplicated = %d, want 3", l.Duplicated)
+	if l.Duplicated() != 3 {
+		t.Errorf("Duplicated = %d, want 3", l.Duplicated())
 	}
 	if got, want := h2.RxPackets, uint64(9); got != want {
 		t.Errorf("h2 rx = %d, want %d (3 dup + 3 plain + 3 extra copies)", got, want)
 	}
-	lhs := l.Sent + l.Duplicated
-	rhs := l.Delivered + l.LostAtSend + l.LostInFlight + l.Dropped + l.InFlight()
+	lhs := l.Sent() + l.Duplicated()
+	rhs := l.Delivered() + l.LostAtSend() + l.LostInFlight() + l.Dropped() + l.InFlight()
 	if lhs != rhs {
 		t.Errorf("conservation broken: sent+dup=%d, accounted=%d", lhs, rhs)
 	}

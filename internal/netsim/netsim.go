@@ -3,6 +3,14 @@
 // (link failures raise LinkStatusChange events in the attached switches).
 // The multi-switch experiments — HULA probing, fast re-route, liveness
 // monitoring — run on netsim topologies.
+//
+// A network runs either on a single scheduler (New) or on a
+// sim.Partition (NewPartitioned): switches built on different partition
+// domains execute concurrently, and frames crossing a domain boundary
+// travel through per-link mailboxes exchanged at the partition's
+// synchronization barriers. Delivery order is pinned by the scheduler's
+// wire band keyed on (directed link id, per-direction frame counter), so
+// a partitioned run is byte-identical to the single-scheduler run.
 package netsim
 
 import (
@@ -43,57 +51,142 @@ type Deliverable struct {
 // retains.
 type Impairment func(data []byte) []Deliverable
 
+// DirCounters are one direction's frame counters on a link (direction 0
+// is a→b, direction 1 is b→a). The single-writer split that makes the
+// partitioned run race-free: Sent, LostAtSend, Dropped, Duplicated and
+// Propagated are written only by the sending side's domain; Delivered
+// and LostInFlight only by the receiving side's. Conservation per
+// direction (faults.Audit checks the summed form) is
+//
+//	Sent + Duplicated == Delivered + LostAtSend + LostInFlight +
+//	                     Dropped + InFlight
+//
+// where InFlight = Propagated - Delivered - LostInFlight.
+type DirCounters struct {
+	// Sent counts frames offered in this direction.
+	Sent uint64
+	// LostAtSend counts frames sent while the link was already down.
+	LostAtSend uint64
+	// Dropped counts frames an Impairment discarded.
+	Dropped uint64
+	// Duplicated counts extra copies an Impairment created.
+	Duplicated uint64
+	// Propagated counts copies put on the wire (post-impairment).
+	Propagated uint64
+	// Delivered counts frames that reached the far endpoint.
+	Delivered uint64
+	// LostInFlight counts frames caught mid-propagation by a Fail.
+	LostInFlight uint64
+}
+
+// InFlight returns the number of frames currently propagating in this
+// direction.
+func (c *DirCounters) InFlight() uint64 {
+	return c.Propagated - c.Delivered - c.LostInFlight
+}
+
+// mailEntry is a frame queued for cross-domain delivery at the next
+// partition barrier.
+type mailEntry struct {
+	at   sim.Time
+	seq  uint64
+	data []byte
+}
+
 // Link is a point-to-point connection between two endpoints. Packet
 // serialization is modeled by the transmitting device (switch TX or host
 // NIC); the link adds propagation latency, can be failed, and can carry
 // an Impairment (loss, corruption, reordering, duplication).
+//
+// Every piece of run-time link state is split per direction or per side
+// with a single writing domain, so a link crossing a partition boundary
+// is touched concurrently without locks or races.
 type Link struct {
-	net      *Network
-	a, b     endpoint
-	latency  sim.Time
-	up       bool
-	impair   Impairment
-	inFlight uint64
-
-	// Sent counts frames offered to the link in either direction.
-	// Delivered counts frames that reached the far endpoint. Losses are
-	// split by where they happened: LostAtSend counts frames sent while
-	// the link was already down, LostInFlight counts frames caught
-	// mid-propagation by a Fail, and Dropped counts frames an Impairment
-	// discarded. Duplicated counts the extra copies an Impairment
-	// created (they add to Delivered). Conservation, which faults.Audit
-	// checks, is
-	//
-	//	Sent + Duplicated == Delivered + LostAtSend + LostInFlight +
-	//	                     Dropped + InFlight()
-	Sent         uint64
-	Delivered    uint64
-	LostAtSend   uint64
-	LostInFlight uint64
-	Dropped      uint64
-	Duplicated   uint64
+	net     *Network
+	id      int // index into net.links; half of the wire-band key
+	a, b    endpoint
+	latency sim.Time
+	// sideUp is each endpoint's view of the link state. The views
+	// transition at the same virtual instant (Fail/Repair flip both;
+	// ScheduleLinkChange schedules both sides for the same time), but
+	// each is written only by its own side's domain.
+	sideUp [2]bool
+	impair Impairment
+	dir    [2]DirCounters
+	// wireSeq numbers propagated copies per direction, in send order —
+	// the engine-independent tiebreak for same-instant arrivals.
+	wireSeq [2]uint64
+	// sched is the scheduler driving each side (equal unless the link
+	// crosses domains). mail holds frames awaiting barrier exchange.
+	sched [2]*sim.Scheduler
+	cross bool
+	mail  [2][]mailEntry
 }
 
-// Up reports the link state.
-func (l *Link) Up() bool { return l.up }
+// Up reports the link state (both endpoint views; between a partitioned
+// run's windows the views may transiently differ by one transition).
+func (l *Link) Up() bool { return l.sideUp[0] && l.sideUp[1] }
 
 // Latency returns the link's one-way propagation delay.
 func (l *Link) Latency() sim.Time { return l.latency }
 
-// InFlight returns the number of frames currently propagating.
-func (l *Link) InFlight() uint64 { return l.inFlight }
+// Counters returns one direction's counters (0: a→b, 1: b→a). Mutable
+// access is exported for tests that cook the books to verify auditing.
+func (l *Link) Counters(dir int) *DirCounters { return &l.dir[dir] }
+
+// Sent counts frames offered to the link in either direction.
+func (l *Link) Sent() uint64 { return l.dir[0].Sent + l.dir[1].Sent }
+
+// Delivered counts frames that reached the far endpoint.
+func (l *Link) Delivered() uint64 { return l.dir[0].Delivered + l.dir[1].Delivered }
+
+// LostAtSend counts frames sent while the link was already down.
+func (l *Link) LostAtSend() uint64 { return l.dir[0].LostAtSend + l.dir[1].LostAtSend }
+
+// LostInFlight counts frames caught mid-propagation by a Fail.
+func (l *Link) LostInFlight() uint64 { return l.dir[0].LostInFlight + l.dir[1].LostInFlight }
+
+// Dropped counts frames an Impairment discarded.
+func (l *Link) Dropped() uint64 { return l.dir[0].Dropped + l.dir[1].Dropped }
+
+// Duplicated counts the extra copies an Impairment created (they add to
+// Delivered).
+func (l *Link) Duplicated() uint64 { return l.dir[0].Duplicated + l.dir[1].Duplicated }
+
+// InFlight returns the number of frames currently propagating (including
+// frames parked in a cross-domain mailbox awaiting the next barrier).
+func (l *Link) InFlight() uint64 { return l.dir[0].InFlight() + l.dir[1].InFlight() }
 
 // Lost returns the total frames lost to link failures (both at send and
 // mid-flight; impairment drops are counted separately in Dropped).
-func (l *Link) Lost() uint64 { return l.LostAtSend + l.LostInFlight }
+func (l *Link) Lost() uint64 { return l.LostAtSend() + l.LostInFlight() }
 
 // SetImpair installs (or, with nil, removes) the link's impairment. Only
 // one impairment is attached at a time; compose stages before installing
 // (internal/faults chains its injectors into a single Impairment).
+// Impairments keep per-link state behind a shared closure, so a
+// partitioned network rejects impairments on links that cross domains.
 func (l *Link) SetImpair(f Impairment) { l.impair = f }
+
+// Cross reports whether the link's endpoints live in different partition
+// domains.
+func (l *Link) Cross() bool { return l.cross }
+
+// Scheduler returns the link's home scheduler: side a's domain. Code
+// that observes or manipulates a non-cross link (fault injectors,
+// impairment windows) must run on this scheduler.
+func (l *Link) Scheduler() *sim.Scheduler { return l.sched[0] }
 
 // String describes the link.
 func (l *Link) String() string { return fmt.Sprintf("%v<->%v", l.a, l.b) }
+
+// side returns which side of the link e is (0 for a, 1 for b).
+func (l *Link) side(e endpoint) int {
+	if e == l.b {
+		return 1
+	}
+	return 0
+}
 
 // Host is a simple endpoint: it receives frames (with an optional
 // callback) and can send frames into its attached switch port after NIC
@@ -113,10 +206,20 @@ type Host struct {
 
 	net    *Network
 	link   *Link
+	sched  *sim.Scheduler // the attached switch's domain scheduler
 	rate   sim.Rate
 	busy   sim.Time // NIC busy-until for serialization
 	paused bool
 	held   [][]byte
+}
+
+// Scheduler returns the scheduler driving this host: its attached
+// switch's domain scheduler, or the network's when unattached.
+func (h *Host) Scheduler() *sim.Scheduler {
+	if h.sched != nil {
+		return h.sched
+	}
+	return h.net.sched
 }
 
 // Send transmits a frame from the host into the network, honoring NIC
@@ -131,14 +234,14 @@ func (h *Host) Send(data []byte) {
 		h.HeldFrames++
 		return
 	}
-	now := h.net.sched.Now()
+	now := h.sched.Now()
 	start := now
 	if h.busy > start {
 		start = h.busy
 	}
 	ser := h.rate.ByteTime(len(data) + core.WireOverhead)
 	h.busy = start + ser
-	h.net.sched.At(h.busy, func() {
+	h.sched.At(h.busy, func() {
 		h.net.deliver(h.link, endpoint{host: h}, data)
 	})
 }
@@ -173,9 +276,11 @@ func (h *Host) receive(data []byte) {
 	}
 }
 
-// Network is a collection of switches, hosts and links on one scheduler.
+// Network is a collection of switches, hosts and links on one scheduler
+// or one sim.Partition.
 type Network struct {
 	sched    *sim.Scheduler
+	part     *sim.Partition
 	switches []*core.Switch
 	hosts    []*Host
 	links    []*Link
@@ -183,13 +288,16 @@ type Network struct {
 	byPort map[*core.Switch]map[int]*Link
 	taps   map[*core.Switch]func(port int, data []byte)
 
+	hooked bool // barrier hook registered with the partition
+
 	// OnLinkChange, when set, observes every Fail and Repair (after the
 	// attached switches saw their LinkStatusChange events). Control-plane
 	// baselines subscribe here to model out-of-band failure detection.
+	// In a partitioned network the hook fires in side a's domain.
 	OnLinkChange func(l *Link, up bool)
 }
 
-// New builds an empty network.
+// New builds an empty network on a single scheduler.
 func New(sched *sim.Scheduler) *Network {
 	return &Network{
 		sched:  sched,
@@ -198,12 +306,32 @@ func New(sched *sim.Scheduler) *Network {
 	}
 }
 
-// Scheduler returns the network's scheduler.
+// NewPartitioned builds an empty network over a partition: switches must
+// be constructed on the partition's domain schedulers (core.New with
+// p.Sched(i)), and AddSwitch infers each switch's domain from its
+// scheduler. Domain 0's scheduler doubles as the network's setup
+// scheduler (Scheduler()).
+func NewPartitioned(p *sim.Partition) *Network {
+	n := New(p.Sched(0))
+	n.part = p
+	return n
+}
+
+// Scheduler returns the network's scheduler (domain 0's when
+// partitioned).
 func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
 
+// Partition returns the partition driving the network, or nil.
+func (n *Network) Partition() *sim.Partition { return n.part }
+
 // AddSwitch registers a switch and takes over its OnTransmit hook so
-// transmitted packets traverse the attached links.
+// transmitted packets traverse the attached links. On a partitioned
+// network the switch must have been built on one of the partition's
+// domain schedulers.
 func (n *Network) AddSwitch(sw *core.Switch) {
+	if n.part != nil && n.part.Index(sw.Scheduler()) < 0 {
+		panic("netsim: switch " + sw.Name() + " not built on a partition domain scheduler")
+	}
 	n.switches = append(n.switches, sw)
 	n.byPort[sw] = make(map[int]*Link)
 	sw.OnTransmit = func(port int, pkt *packet.Packet) {
@@ -218,7 +346,7 @@ func (n *Network) AddSwitch(sw *core.Switch) {
 
 // TapTransmit registers an observer for a switch's transmissions without
 // disturbing link delivery (a switch's OnTransmit hook is owned by the
-// network once added).
+// network once added). The observer runs in the switch's domain.
 func (n *Network) TapTransmit(sw *core.Switch, f func(port int, data []byte)) {
 	n.taps[sw] = f
 }
@@ -241,8 +369,33 @@ func (n *Network) NewHost(name string, ip packet.IP) *Host {
 	return h
 }
 
+// schedOf returns the scheduler driving an endpoint, falling back to
+// other's for hosts (a host lives in its attached switch's domain).
+func (n *Network) schedOf(e, other endpoint) *sim.Scheduler {
+	if e.sw != nil {
+		return e.sw.Scheduler()
+	}
+	if other.sw != nil {
+		return other.sw.Scheduler()
+	}
+	return n.sched
+}
+
 func (n *Network) addLink(a, b endpoint, latency sim.Time) *Link {
-	l := &Link{net: n, a: a, b: b, latency: latency, up: true}
+	l := &Link{
+		net:     n,
+		id:      len(n.links),
+		a:       a,
+		b:       b,
+		latency: latency,
+		sideUp:  [2]bool{true, true},
+	}
+	l.sched[0] = n.schedOf(a, b)
+	l.sched[1] = n.schedOf(b, a)
+	l.cross = l.sched[0] != l.sched[1]
+	if l.cross && latency <= 0 {
+		panic("netsim: cross-domain link " + l.String() + " needs positive latency (it bounds the partition lookahead)")
+	}
 	n.links = append(n.links, l)
 	if a.sw != nil {
 		n.byPort[a.sw][a.port] = l
@@ -260,97 +413,204 @@ func (n *Network) Connect(s1 *core.Switch, p1 int, s2 *core.Switch, p2 int, late
 }
 
 // Attach joins a host to a switch port. rate is the host NIC rate
-// (defaults to the switch's line rate when zero).
+// (defaults to the switch's line rate when zero). The host joins the
+// switch's domain.
 func (n *Network) Attach(h *Host, sw *core.Switch, port int, latency sim.Time) *Link {
 	h.rate = sw.Config().LineRate
+	h.sched = sw.Scheduler()
 	l := n.addLink(endpoint{host: h}, endpoint{sw: sw, port: port}, latency)
 	h.link = l
 	return l
 }
 
 // deliver carries a frame across a link from the given source endpoint.
+// It runs in the sending side's domain.
 func (n *Network) deliver(l *Link, from endpoint, data []byte) {
-	l.Sent++
-	if !l.up {
-		l.LostAtSend++
+	dir := l.side(from)
+	c := &l.dir[dir]
+	c.Sent++
+	if !l.sideUp[dir] {
+		c.LostAtSend++
 		return
 	}
-	to := l.b
-	if from == l.b {
-		to = l.a
-	}
 	if l.impair == nil {
-		n.propagate(l, to, data, l.latency)
+		n.propagate(l, dir, data, l.latency)
 		return
 	}
 	// The impairment gets a private copy: a corruptor that flips bytes
 	// must not alias a buffer the sender (or a tap) still holds.
 	outs := l.impair(append([]byte(nil), data...))
 	if len(outs) == 0 {
-		l.Dropped++
+		c.Dropped++
 		return
 	}
 	if len(outs) > 1 {
-		l.Duplicated += uint64(len(outs) - 1)
+		c.Duplicated += uint64(len(outs) - 1)
 	}
 	for _, o := range outs {
-		n.propagate(l, to, o.Data, l.latency+o.ExtraDelay)
+		n.propagate(l, dir, o.Data, l.latency+o.ExtraDelay)
 	}
 }
 
-// propagate schedules one frame's arrival at the far endpoint. A Fail
-// while the frame is in flight loses it (LostInFlight).
-func (n *Network) propagate(l *Link, to endpoint, data []byte, delay sim.Time) {
-	l.inFlight++
-	n.sched.After(delay, func() {
-		l.inFlight--
-		if !l.up {
-			l.LostInFlight++
-			return
+// propagate puts one frame copy on the wire. Intra-domain it is
+// scheduled directly on the destination's wire band; cross-domain it is
+// parked in the link mailbox for the next barrier. Either way it fires
+// in (arrival time, directed link id, send order) order — the same order
+// in every partitioning.
+func (n *Network) propagate(l *Link, dir int, data []byte, delay sim.Time) {
+	c := &l.dir[dir]
+	c.Propagated++
+	at := l.sched[dir].Now() + delay
+	seq := l.wireSeq[dir]
+	l.wireSeq[dir]++
+	if l.cross {
+		l.mail[dir] = append(l.mail[dir], mailEntry{at: at, seq: seq, data: data})
+		return
+	}
+	l.sched[1-dir].AtWire(at, l.wireKey(dir), seq, func() { n.arrive(l, dir, data) })
+}
+
+// wireKey is the first wire-band ordering key: the directed link id.
+func (l *Link) wireKey(dir int) uint64 { return uint64(l.id)<<1 | uint64(dir) }
+
+// arrive completes one frame's propagation. It runs in the receiving
+// side's domain. A Fail while the frame was in flight loses it.
+func (n *Network) arrive(l *Link, dir int, data []byte) {
+	c := &l.dir[dir]
+	to := l.b
+	if dir == 1 {
+		to = l.a
+	}
+	if !l.sideUp[1-dir] {
+		c.LostInFlight++
+		return
+	}
+	c.Delivered++
+	switch {
+	case to.host != nil:
+		to.host.receive(data)
+	default:
+		to.sw.Inject(to.port, data)
+	}
+}
+
+// drainMail moves parked cross-domain frames onto their destination
+// domains' wire bands. It runs single-threaded at partition barriers.
+func (n *Network) drainMail() {
+	for _, l := range n.links {
+		if !l.cross {
+			continue
 		}
-		l.Delivered++
-		switch {
-		case to.host != nil:
-			to.host.receive(data)
-		default:
-			to.sw.Inject(to.port, data)
+		for dir := 0; dir < 2; dir++ {
+			box := l.mail[dir]
+			if len(box) == 0 {
+				continue
+			}
+			dst := l.sched[1-dir]
+			key := l.wireKey(dir)
+			for _, m := range box {
+				m := m
+				dst.AtWire(m.at, key, m.seq, func() { n.arrive(l, dir, m.data) })
+			}
+			l.mail[dir] = box[:0]
 		}
-	})
+	}
+}
+
+// Run advances the simulation to until: the partition's window loop when
+// partitioned, a plain scheduler run otherwise. On the first partitioned
+// Run it computes the lookahead (minimum cross-domain link latency) and
+// registers the mailbox exchange at the partition's barriers.
+func (n *Network) Run(until sim.Time) {
+	if n.part == nil {
+		n.sched.Run(until)
+		return
+	}
+	lookahead := sim.Time(sim.Forever)
+	for _, l := range n.links {
+		if !l.cross {
+			continue
+		}
+		if l.impair != nil {
+			panic("netsim: impairment on cross-domain link " + l.String() +
+				" (impairments keep shared state; keep impaired links inside one domain)")
+		}
+		if l.latency < lookahead {
+			lookahead = l.latency
+		}
+	}
+	n.part.SetLookahead(lookahead)
+	if !n.hooked {
+		n.part.OnBarrier(n.drainMail)
+		n.hooked = true
+	}
+	n.part.Run(until)
 }
 
 // Fail takes a link down. Both attached switches see a LinkStatusChange
-// event; in-flight and future packets are lost until Repair.
-func (n *Network) Fail(l *Link) {
-	if !l.up {
+// event; in-flight and future packets are lost until Repair. On a
+// partitioned network a cross-domain link cannot be failed directly —
+// the caller runs in one domain and may not touch the other side's
+// state; use ScheduleLinkChange, which arms both sides for the same
+// virtual instant.
+func (n *Network) Fail(l *Link) { n.setLink(l, false) }
+
+// Repair brings a link back up.
+func (n *Network) Repair(l *Link) { n.setLink(l, true) }
+
+func (n *Network) setLink(l *Link, up bool) {
+	if n.part != nil && l.cross {
+		panic("netsim: Fail/Repair on cross-domain link " + l.String() + "; use ScheduleLinkChange")
+	}
+	if l.sideUp[0] == up && l.sideUp[1] == up {
 		return
 	}
-	l.up = false
+	l.sideUp[0] = up
+	l.sideUp[1] = up
 	if l.a.sw != nil {
-		l.a.sw.SetLink(l.a.port, false)
+		l.a.sw.SetLink(l.a.port, up)
 	}
 	if l.b.sw != nil {
-		l.b.sw.SetLink(l.b.port, false)
+		l.b.sw.SetLink(l.b.port, up)
 	}
 	if n.OnLinkChange != nil {
-		n.OnLinkChange(l, false)
+		n.OnLinkChange(l, up)
 	}
 }
 
-// Repair brings a link back up.
-func (n *Network) Repair(l *Link) {
-	if l.up {
+// sideLinkChange applies one side's view of a scheduled link transition.
+// It runs in that side's domain. The OnLinkChange hook fires once, on
+// side a's event.
+func (n *Network) sideLinkChange(l *Link, side int, up bool) {
+	if l.sideUp[side] == up {
 		return
 	}
-	l.up = true
-	if l.a.sw != nil {
-		l.a.sw.SetLink(l.a.port, true)
+	l.sideUp[side] = up
+	e := l.a
+	if side == 1 {
+		e = l.b
 	}
-	if l.b.sw != nil {
-		l.b.sw.SetLink(l.b.port, true)
+	if e.sw != nil {
+		e.sw.SetLink(e.port, up)
 	}
-	if n.OnLinkChange != nil {
-		n.OnLinkChange(l, true)
+	if side == 0 && n.OnLinkChange != nil {
+		n.OnLinkChange(l, up)
 	}
+}
+
+// ScheduleLinkChange arms a link transition (up=false: Fail, up=true:
+// Repair) at the absolute time at. On a cross-domain link each side's
+// view transitions independently in its own domain at the same virtual
+// instant — the deterministic way to fail a link whose endpoints run
+// concurrently. fault schedules (internal/faults) arm all their link
+// transitions this way.
+func (n *Network) ScheduleLinkChange(l *Link, at sim.Time, up bool) {
+	if !l.cross {
+		l.sched[0].At(at, func() { n.setLink(l, up) })
+		return
+	}
+	l.sched[0].At(at, func() { n.sideLinkChange(l, 0, up) })
+	l.sched[1].At(at, func() { n.sideLinkChange(l, 1, up) })
 }
 
 // ConnectLeafSpine wires a two-level fabric: tor[i]'s port 1+j connects

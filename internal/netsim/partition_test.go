@@ -1,0 +1,205 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/packet"
+	"repro/internal/pisa"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// pingPong returns a program that forwards host traffic to the uplink
+// and uplink traffic to the host, generating reverse-direction load so
+// frames cross the domain boundary both ways at once.
+func pingPong() *pisa.Program {
+	p := pisa.NewProgram("pingpong")
+	p.HandleFunc(events.IngressPacket, func(ctx *pisa.Context) {
+		if ctx.Ev.Port == 0 {
+			ctx.EgressPort = 1
+		} else {
+			ctx.EgressPort = 0
+		}
+	})
+	return p
+}
+
+// chainFingerprint runs a 2-switch, 2-host chain with the switches split
+// across `domains` partition domains (or a plain scheduler when domains
+// is 0) and returns a digest of everything observable: per-host rx
+// counters, per-switch stats, per-link per-direction counters.
+func chainFingerprint(t *testing.T, domains int) string {
+	t.Helper()
+	var sched0, sched1 *sim.Scheduler
+	var net *Network
+	if domains == 0 {
+		s := sim.NewScheduler()
+		sched0, sched1 = s, s
+		net = New(s)
+	} else {
+		p := sim.NewPartition(domains)
+		sched0 = p.Sched(0)
+		sched1 = p.Sched((domains - 1) % domains)
+		net = NewPartitioned(p)
+	}
+	s1 := core.New(core.Config{Name: "s1"}, core.EventDriven(), sched0)
+	s2 := core.New(core.Config{Name: "s2"}, core.EventDriven(), sched1)
+	s1.MustLoad(pingPong())
+	s2.MustLoad(pingPong())
+	net.AddSwitch(s1)
+	net.AddSwitch(s2)
+
+	h1 := net.NewHost("h1", packet.IP4(10, 0, 0, 1))
+	h2 := net.NewHost("h2", packet.IP4(10, 0, 0, 2))
+	net.Attach(h1, s1, 0, 0)
+	net.Attach(h2, s2, 0, 0)
+	net.Connect(s1, 1, s2, 1, sim.Microsecond)
+
+	// Bidirectional CBR load with identical seeds in every partitioning.
+	rng := sim.NewRNG(11)
+	g1 := workload.NewGen(h1.Scheduler(), rng.Split(), h1.Send)
+	g2 := workload.NewGen(h2.Scheduler(), rng.Split(), h2.Send)
+	g1.StartCBR(workload.CBRConfig{
+		Flow: packet.Flow{Src: h1.IP, Dst: h2.IP, SrcPort: 1000, DstPort: 2000, Proto: packet.ProtoUDP},
+		Size: workload.FixedSize(400), Rate: 400 * sim.Mbps,
+	})
+	g2.StartCBR(workload.CBRConfig{
+		Flow: packet.Flow{Src: h2.IP, Dst: h1.IP, SrcPort: 2000, DstPort: 1000, Proto: packet.ProtoUDP},
+		Size: workload.FixedSize(900), Rate: 700 * sim.Mbps,
+	})
+
+	net.Run(2 * sim.Millisecond)
+
+	out := fmt.Sprintf("h1 rx=%d/%dB h2 rx=%d/%dB\n", h1.RxPackets, h1.RxBytes, h2.RxPackets, h2.RxBytes)
+	for _, sw := range net.Switches() {
+		st := sw.Stats()
+		out += fmt.Sprintf("%s rx=%d tx=%d cycles=%d\n", sw.Name(), st.RxPackets, st.TxPackets, st.Cycles)
+	}
+	for i, l := range net.Links() {
+		for dir := 0; dir < 2; dir++ {
+			c := l.Counters(dir)
+			out += fmt.Sprintf("link%d dir%d sent=%d delivered=%d inflight=%d\n",
+				i, dir, c.Sent, c.Delivered, c.InFlight())
+		}
+	}
+	return out
+}
+
+// TestPartitionedChainByteIdentical is netsim's core determinism pin: a
+// topology split across 1 or 2 domains (and run on a plain scheduler)
+// yields identical counters everywhere, down to in-flight frames.
+func TestPartitionedChainByteIdentical(t *testing.T) {
+	legacy := chainFingerprint(t, 0)
+	for _, domains := range []int{1, 2} {
+		got := chainFingerprint(t, domains)
+		if got != legacy {
+			t.Errorf("domains=%d diverges from single-scheduler run:\n--- legacy ---\n%s--- domains=%d ---\n%s",
+				domains, legacy, domains, got)
+		}
+	}
+}
+
+// TestScheduleLinkChangePartitioned verifies a scheduled fail/repair on
+// a cross-domain link transitions both sides at the same virtual time
+// and loses exactly the frames a single-scheduler run would lose.
+func TestScheduleLinkChangeFingerprint(t *testing.T) {
+	run := func(domains int) string {
+		var sched0, sched1 *sim.Scheduler
+		var net *Network
+		if domains == 0 {
+			s := sim.NewScheduler()
+			sched0, sched1 = s, s
+			net = New(s)
+		} else {
+			p := sim.NewPartition(domains)
+			sched0, sched1 = p.Sched(0), p.Sched(domains-1)
+			net = NewPartitioned(p)
+		}
+		s1 := core.New(core.Config{Name: "s1"}, core.EventDriven(), sched0)
+		s2 := core.New(core.Config{Name: "s2"}, core.EventDriven(), sched1)
+		s1.MustLoad(pingPong())
+		s2.MustLoad(pingPong())
+		net.AddSwitch(s1)
+		net.AddSwitch(s2)
+		h1 := net.NewHost("h1", packet.IP4(10, 0, 0, 1))
+		h2 := net.NewHost("h2", packet.IP4(10, 0, 0, 2))
+		net.Attach(h1, s1, 0, 0)
+		net.Attach(h2, s2, 0, 0)
+		trunk := net.Connect(s1, 1, s2, 1, sim.Microsecond)
+
+		rng := sim.NewRNG(23)
+		g := workload.NewGen(h1.Scheduler(), rng.Split(), h1.Send)
+		g.StartCBR(workload.CBRConfig{
+			Flow: packet.Flow{Src: h1.IP, Dst: h2.IP, SrcPort: 7, DstPort: 8, Proto: packet.ProtoUDP},
+			Size: workload.FixedSize(600), Rate: 900 * sim.Mbps,
+		})
+
+		net.ScheduleLinkChange(trunk, 500*sim.Microsecond, false)
+		net.ScheduleLinkChange(trunk, 800*sim.Microsecond, true)
+		net.Run(2 * sim.Millisecond)
+
+		st1, st2 := s1.Stats(), s2.Stats()
+		return fmt.Sprintf("h2=%d trunk sent=%d delivered=%d lostSend=%d lostFlight=%d linkEvents=%d/%d up=%v",
+			h2.RxPackets, trunk.Sent(), trunk.Delivered(), trunk.LostAtSend(), trunk.LostInFlight(),
+			st1.EventsMerged[events.LinkStatusChange], st2.EventsMerged[events.LinkStatusChange], trunk.Up())
+	}
+	legacy := run(0)
+	for _, domains := range []int{1, 2} {
+		if got := run(domains); got != legacy {
+			t.Errorf("domains=%d: %q, want %q", domains, got, legacy)
+		}
+	}
+}
+
+// TestCrossDomainDirectFailPanics pins the guard: Fail on a cross-domain
+// link is a programming error (one domain may not touch the other's
+// state mid-run).
+func TestCrossDomainDirectFailPanics(t *testing.T) {
+	p := sim.NewPartition(2)
+	net := NewPartitioned(p)
+	s1 := core.New(core.Config{Name: "s1"}, core.Baseline(), p.Sched(0))
+	s2 := core.New(core.Config{Name: "s2"}, core.Baseline(), p.Sched(1))
+	net.AddSwitch(s1)
+	net.AddSwitch(s2)
+	l := net.Connect(s1, 1, s2, 1, sim.Microsecond)
+	defer func() {
+		if recover() == nil {
+			t.Error("Fail on cross-domain link did not panic")
+		}
+	}()
+	net.Fail(l)
+}
+
+// TestCrossDomainZeroLatencyPanics pins the lookahead precondition at
+// link-construction time.
+func TestCrossDomainZeroLatencyPanics(t *testing.T) {
+	p := sim.NewPartition(2)
+	net := NewPartitioned(p)
+	s1 := core.New(core.Config{Name: "s1"}, core.Baseline(), p.Sched(0))
+	s2 := core.New(core.Config{Name: "s2"}, core.Baseline(), p.Sched(1))
+	net.AddSwitch(s1)
+	net.AddSwitch(s2)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-latency cross-domain link did not panic")
+		}
+	}()
+	net.Connect(s1, 1, s2, 1, 0)
+}
+
+// TestForeignSchedulerRejected verifies AddSwitch refuses a switch built
+// on a scheduler outside the partition.
+func TestForeignSchedulerRejected(t *testing.T) {
+	p := sim.NewPartition(2)
+	net := NewPartitioned(p)
+	sw := core.New(core.Config{Name: "alien"}, core.Baseline(), sim.NewScheduler())
+	defer func() {
+		if recover() == nil {
+			t.Error("foreign-scheduler switch did not panic")
+		}
+	}()
+	net.AddSwitch(sw)
+}

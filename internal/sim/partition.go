@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Partition is a conservative (Chandy–Misra style) parallel driver for a
+// set of Schedulers. Each member scheduler is a domain: a group of
+// simulated components that interact with the other domains only through
+// messages carrying at least Lookahead of virtual latency. Run advances
+// every domain in bounded windows — each domain executes on its own
+// goroutine up to the window edge, then all domains synchronize at a
+// barrier where cross-domain messages are exchanged (the OnBarrier
+// hooks; netsim drains its link mailboxes there).
+//
+// The window edge is min(nextEvent)+Lookahead: no event a domain executes
+// inside the window can cause an effect in another domain before the
+// edge, so every domain sees all of its inputs for the window before the
+// window starts. Combined with the scheduler wire band (arrivals ordered
+// by engine-independent keys, before same-time local events), a
+// partitioned run executes exactly the event sequence the single-
+// scheduler run would — byte-identical output at any domain count.
+type Partition struct {
+	scheds    []*Scheduler
+	lookahead Time
+	barriers  []func()
+}
+
+// NewPartition builds a partition of n fresh schedulers (n >= 1).
+func NewPartition(n int) *Partition {
+	if n < 1 {
+		panic("sim: partition needs at least one domain")
+	}
+	p := &Partition{scheds: make([]*Scheduler, n)}
+	for i := range p.scheds {
+		p.scheds[i] = NewScheduler()
+	}
+	return p
+}
+
+// Domains returns the number of domains.
+func (p *Partition) Domains() int { return len(p.scheds) }
+
+// Sched returns domain i's scheduler.
+func (p *Partition) Sched(i int) *Scheduler { return p.scheds[i] }
+
+// Index returns the domain owning s, or -1.
+func (p *Partition) Index(s *Scheduler) int {
+	for i, d := range p.scheds {
+		if d == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// SetLookahead sets the window width: the minimum virtual latency of any
+// cross-domain interaction. With more than one domain it must be
+// positive before Run (netsim computes it as the minimum cross-domain
+// link latency).
+func (p *Partition) SetLookahead(d Time) { p.lookahead = d }
+
+// Lookahead returns the configured window width.
+func (p *Partition) Lookahead() Time { return p.lookahead }
+
+// OnBarrier registers fn to run single-threaded at every synchronization
+// point (before the first window, between windows, and after the last),
+// while no domain goroutine is executing. Exchange hooks deliver
+// cross-domain messages here by scheduling them on the destination
+// domain, typically via AtWire.
+func (p *Partition) OnBarrier(fn func()) { p.barriers = append(p.barriers, fn) }
+
+func (p *Partition) barrier() {
+	for _, fn := range p.barriers {
+		fn()
+	}
+}
+
+// parallelRun advances every domain concurrently: strictly before edge
+// when incl is false, through edge (clock settling at edge) when true.
+func (p *Partition) parallelRun(edge Time, incl bool) uint64 {
+	var fired atomic.Uint64
+	var wg sync.WaitGroup
+	for _, s := range p.scheds {
+		wg.Add(1)
+		go func(s *Scheduler) {
+			defer wg.Done()
+			if incl {
+				fired.Add(s.Run(edge))
+			} else {
+				fired.Add(s.RunBefore(edge))
+			}
+		}(s)
+	}
+	wg.Wait()
+	return fired.Load()
+}
+
+// Run advances all domains to until, leaving every domain clock at until
+// (mirroring Scheduler.Run). It returns the number of events executed
+// across all domains.
+//
+// Window protocol: at each iteration the barrier hooks run (delivering
+// any cross-domain messages produced by the previous window), then
+// S = min over domains of the next pending event time. The window edge
+// is E = min(S+lookahead, until): events executed in [S, E) can only
+// affect other domains at or after S+lookahead >= E, so the window is
+// causally closed. The loop ends when S >= until; a final inclusive pass
+// executes events at exactly until (their cross-domain effects land at
+// or after until+lookahead and stay mailboxed for a later Run, exactly
+// as the single-scheduler run would leave them pending).
+func (p *Partition) Run(until Time) uint64 {
+	if len(p.scheds) == 1 {
+		p.barrier()
+		n := p.scheds[0].Run(until)
+		p.barrier()
+		return n
+	}
+	if p.lookahead <= 0 {
+		panic("sim: partition with multiple domains needs a positive lookahead")
+	}
+	var total uint64
+	for {
+		p.barrier()
+		s := Forever
+		for _, d := range p.scheds {
+			if at, ok := d.NextAt(); ok && at < s {
+				s = at
+			}
+		}
+		if s >= until {
+			break
+		}
+		edge := until
+		if p.lookahead < until-s {
+			edge = s + p.lookahead
+		}
+		total += p.parallelRun(edge, false)
+	}
+	total += p.parallelRun(until, true)
+	p.barrier()
+	return total
+}

@@ -46,6 +46,75 @@ type schedEvent struct {
 	cancelled bool
 }
 
+// wireEvent is an entry in the scheduler's wire band: an externally-keyed
+// event (a frame arriving off a link) ordered by (at, k1, k2) rather than
+// by insertion sequence. The key is engine-independent — it is derived
+// from the link and the sender's per-direction frame counter, not from
+// when this scheduler happened to learn about the frame — which is what
+// lets a partitioned run schedule arrivals at barrier-drain time and
+// still fire them in exactly the order the single-scheduler run would.
+type wireEvent struct {
+	at     Time
+	k1, k2 uint64
+	fn     Action
+}
+
+// wireHeap is a binary min-heap of wireEvents ordered by (at, k1, k2),
+// sifted manually: container/heap would box every push through an
+// interface and the wire band sits on the per-frame hot path.
+type wireHeap []wireEvent
+
+func (h wireHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].k1 != h[j].k1 {
+		return h[i].k1 < h[j].k1
+	}
+	return h[i].k2 < h[j].k2
+}
+
+func (h *wireHeap) push(w wireEvent) {
+	*h = append(*h, w)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *wireHeap) pop() wireEvent {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = wireEvent{}
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q.less(l, min) {
+			min = l
+		}
+		if r < n && q.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
+}
+
 type eventHeap []*schedEvent
 
 func (h eventHeap) Len() int { return len(h) }
@@ -81,6 +150,7 @@ type Scheduler struct {
 	now    Time
 	seq    uint64
 	queue  eventHeap
+	wire   wireHeap
 	lanes  []*Lane
 	free   []*schedEvent
 	fired  uint64
@@ -98,7 +168,7 @@ func (s *Scheduler) Now() Time { return s.now }
 // Pending returns the number of events waiting to fire (including
 // cancelled events not yet discarded and armed lanes).
 func (s *Scheduler) Pending() int {
-	n := len(s.queue)
+	n := len(s.queue) + len(s.wire)
 	for _, l := range s.lanes {
 		if l.armed {
 			n++
@@ -172,6 +242,19 @@ func (s *Scheduler) schedule(at Time) *schedEvent {
 	s.seq++
 	heap.Push(&s.queue, ev)
 	return ev
+}
+
+// AtWire schedules fn on the wire band: at equal timestamps wire events
+// fire before ordinary events and lanes, ordered among themselves by the
+// caller-supplied key (k1, then k2). The key must be engine-independent
+// (netsim uses k1 = directed-link id and k2 = the sender's frame counter
+// on that direction) so that every partitioning of a topology fires the
+// same arrivals in the same order. Wire events cannot be cancelled.
+func (s *Scheduler) AtWire(at Time, k1, k2 uint64, fn Action) {
+	if at < s.now {
+		panic("sim: wire event scheduled in the past")
+	}
+	s.wire.push(wireEvent{at: at, k1: k1, k2: k2, fn: fn})
 }
 
 // Every schedules fn to run periodically with the given period, starting
@@ -290,14 +373,32 @@ func (s *Scheduler) peekHeap() *schedEvent {
 }
 
 // Step executes the single earliest pending event, advancing the clock to
-// its timestamp. It returns false when no events remain.
+// its timestamp. At equal timestamps the wire band fires first; ordinary
+// events and lanes then interleave by shared sequence number. It returns
+// false when no events remain.
 func (s *Scheduler) Step() bool {
 	ev := s.peekHeap()
 	lane := s.nextLane()
+	// Earliest ordinary candidate (heap event vs lane), resolved by the
+	// shared seq counter at equal times.
+	evWins := ev != nil && (lane == nil || ev.at < lane.at || (ev.at == lane.at && ev.seq < lane.seq))
+	ordinaryAt := Forever
+	if evWins {
+		ordinaryAt = ev.at
+	} else if lane != nil {
+		ordinaryAt = lane.at
+	}
+	if len(s.wire) > 0 && s.wire[0].at <= ordinaryAt {
+		w := s.wire.pop()
+		s.now = w.at
+		s.fired++
+		w.fn()
+		return true
+	}
 	switch {
 	case ev == nil && lane == nil:
 		return false
-	case ev != nil && (lane == nil || ev.at < lane.at || (ev.at == lane.at && ev.seq < lane.seq)):
+	case evWins:
 		heap.Pop(&s.queue)
 		s.now = ev.at
 		fn, runner := ev.fn, ev.runner
@@ -317,9 +418,9 @@ func (s *Scheduler) Step() bool {
 	return true
 }
 
-// nextAt returns the time of the earliest pending event and whether one
+// NextAt returns the time of the earliest pending event and whether one
 // exists.
-func (s *Scheduler) nextAt() (Time, bool) {
+func (s *Scheduler) NextAt() (Time, bool) {
 	at := Forever
 	ok := false
 	if ev := s.peekHeap(); ev != nil {
@@ -327,6 +428,9 @@ func (s *Scheduler) nextAt() (Time, bool) {
 	}
 	if lane := s.nextLane(); lane != nil && lane.at < at {
 		at, ok = lane.at, true
+	}
+	if len(s.wire) > 0 && s.wire[0].at < at {
+		at, ok = s.wire[0].at, true
 	}
 	return at, ok
 }
@@ -339,7 +443,7 @@ func (s *Scheduler) Run(until Time) uint64 {
 	start := s.fired
 	s.halted = false
 	for !s.halted {
-		at, ok := s.nextAt()
+		at, ok := s.NextAt()
 		if !ok || at > until {
 			break
 		}
@@ -347,6 +451,25 @@ func (s *Scheduler) Run(until Time) uint64 {
 	}
 	if s.now < until {
 		s.now = until
+	}
+	return s.fired - start
+}
+
+// RunBefore executes events strictly before limit and returns the number
+// executed. Unlike Run it leaves the clock at the last fired event (or
+// untouched when nothing fired): it is the windowed-execution primitive
+// for Partition, where a domain must not observe — or claim to have
+// reached — any instant at or past the window edge, because a frame from
+// another domain may still arrive exactly at limit.
+func (s *Scheduler) RunBefore(limit Time) uint64 {
+	start := s.fired
+	s.halted = false
+	for !s.halted {
+		at, ok := s.NextAt()
+		if !ok || at >= limit {
+			break
+		}
+		s.Step()
 	}
 	return s.fired - start
 }
