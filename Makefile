@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench evbench bench-json bench-smoke
+.PHONY: check vet build test race fuzz bench evbench bench-json bench-smoke telemetry-smoke
 
 # The gate everything must pass: static checks, a full build, the test
-# suite, and the concurrency-sensitive packages (parallel experiment
-# harness, partitioned engine, fault injection) under the race detector.
-check: vet build test race
+# suite, the concurrency-sensitive packages (parallel experiment
+# harness, partitioned engine, fault injection) under the race detector,
+# and an end-to-end telemetry export check.
+check: vet build test race telemetry-smoke
 
 vet:
 	$(GO) vet ./...
@@ -17,7 +18,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/bench -run 'TestParallel|TestResilience|TestDomain|TestScale'
+	$(GO) test -race ./internal/bench -run 'TestParallel|TestResilience|TestDomain|TestScale|TestTelemetry'
 	$(GO) test -race ./internal/sim -run 'TestPartition|TestAtWire|TestRunBefore'
 	$(GO) test -race ./internal/netsim -run 'TestPartitioned|TestScheduleLinkChange|TestCrossDomain'
 	$(GO) test -race ./internal/faults
@@ -46,3 +47,14 @@ bench-smoke:
 	$(GO) run ./cmd/evbench -domains 1 > /tmp/evbench.d1.txt
 	$(GO) run ./cmd/evbench -domains 2 > /tmp/evbench.d2.txt
 	diff /tmp/evbench.d1.txt /tmp/evbench.d2.txt && echo "bench-smoke: -domains 1 == -domains 2"
+
+# End-to-end telemetry check: export trace + metrics from an
+# instrumented experiment, schema-validate both with tracecheck, and
+# require byte-identical files at -domains 1 and -domains 2.
+telemetry-smoke:
+	$(GO) run ./cmd/evbench -exp hula -domains 1 -trace /tmp/evtel.d1.jsonl -metrics /tmp/evtel.d1.json > /dev/null
+	$(GO) run ./cmd/evbench -exp hula -domains 2 -trace /tmp/evtel.d2.jsonl -metrics /tmp/evtel.d2.json > /dev/null
+	$(GO) run ./cmd/tracecheck -trace /tmp/evtel.d1.jsonl -metrics /tmp/evtel.d1.json
+	cmp /tmp/evtel.d1.jsonl /tmp/evtel.d2.jsonl
+	cmp /tmp/evtel.d1.json /tmp/evtel.d2.json
+	@echo "telemetry-smoke: exports valid and -domains 1 == -domains 2"

@@ -10,10 +10,19 @@
 //	evbench -benchjson .             # also write BENCH_<id>.json per experiment
 //	evbench -cpuprofile cpu.pprof    # write a CPU profile
 //	evbench -memprofile mem.pprof    # write an allocation profile
+//	evbench -exp hula -trace t.json -metrics m.json
+//	                                 # telemetry: lifecycle trace + metrics export
+//
+// -trace writes the event-lifecycle trace (Chrome/Perfetto trace-event
+// JSON, or JSON lines when the file ends in .jsonl); -metrics writes the
+// metrics registry document. Both need -exp (one experiment per export)
+// and work for the instrumented experiments (staleness, hula, scale).
 //
 // Output is identical for every -parallel and -domains value: trials are
 // distributed across workers but result rows are emitted in trial order,
 // and partitioned topologies execute byte-identically to single-threaded.
+// That extends to telemetry: trace and metrics files are byte-identical
+// at any -parallel and -domains setting.
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/bench"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -38,6 +48,10 @@ func main() {
 		"write BENCH_<experiment>.json reports into `dir`")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write allocation profile to `file`")
+	traceFile := flag.String("trace", "",
+		"write the event-lifecycle trace to `file` (.jsonl = JSON lines, else Chrome JSON); needs -exp")
+	metricsFile := flag.String("metrics", "",
+		"write the telemetry metrics document to `file`; needs -exp")
 	flag.Parse()
 
 	if *list {
@@ -52,6 +66,17 @@ func main() {
 	}
 	bench.SetParallelism(*par)
 	bench.SetDomains(*domains)
+
+	if *traceFile != "" || *metricsFile != "" {
+		if *exp == "" {
+			fmt.Fprintln(os.Stderr, "evbench: -trace/-metrics need -exp (one experiment per export)")
+			os.Exit(1)
+		}
+		bench.EnableTelemetry(telemetry.Options{
+			TraceCap:     telemetry.DefaultTraceCap,
+			SamplePeriod: telemetry.DefaultSamplePeriod,
+		})
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -97,6 +122,21 @@ func main() {
 		}
 	}
 	run()
+
+	if *traceFile != "" {
+		if err := bench.WriteTelemetryTrace(*traceFile); err != nil {
+			fmt.Fprintf(os.Stderr, "evbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "evbench: wrote %s\n", *traceFile)
+	}
+	if *metricsFile != "" {
+		if err := bench.WriteTelemetryMetrics(*metricsFile); err != nil {
+			fmt.Fprintf(os.Stderr, "evbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "evbench: wrote %s\n", *metricsFile)
+	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/events"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/pisa"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -35,6 +37,9 @@ func main() {
 	p4file := flag.String("p4", "", "µP4 program to load (default: built-in forwarder)")
 	seed := flag.Uint64("seed", 1, "workload RNG seed")
 	trace := flag.Int("trace", 0, "print the first N pipeline slots")
+	traceFile := flag.String("tracefile", "",
+		"write the event-lifecycle trace to `file` (.jsonl = JSON lines, else Chrome JSON)")
+	metricsFile := flag.String("metrics", "", "write the telemetry metrics document to `file`")
 	flag.Parse()
 
 	sched := sim.NewScheduler()
@@ -97,6 +102,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "evsim:", err)
 		os.Exit(1)
 	}
+	var tel *telemetry.Collector
+	if *traceFile != "" || *metricsFile != "" {
+		tel = telemetry.New(telemetry.Options{
+			TraceCap:     telemetry.DefaultTraceCap,
+			SamplePeriod: telemetry.DefaultSamplePeriod,
+		})
+		sw.EnableTelemetry(tel)
+	}
 	if *trace > 0 {
 		remaining := *trace
 		sw.OnSlot = func(info core.SlotInfo) {
@@ -127,6 +140,30 @@ func main() {
 		})
 	}
 	sched.Run(horizon + 2*sim.Millisecond)
+
+	if tel != nil {
+		runs := []telemetry.RunExport{{Label: "evsim", C: tel}}
+		if *traceFile != "" {
+			var err error
+			if strings.HasSuffix(*traceFile, ".jsonl") {
+				err = telemetry.WriteJSONL(*traceFile, runs)
+			} else {
+				err = telemetry.WriteChromeTrace(*traceFile, runs)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "evsim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote trace %s\n", *traceFile)
+		}
+		if *metricsFile != "" {
+			if err := telemetry.WriteMetrics(*metricsFile, runs); err != nil {
+				fmt.Fprintln(os.Stderr, "evsim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote metrics %s\n", *metricsFile)
+		}
+	}
 
 	st := sw.Stats()
 	fmt.Printf("arch=%s cycleTime=%v horizon=%v\n", a.Name, sw.CycleTime(), horizon)

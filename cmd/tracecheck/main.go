@@ -1,0 +1,236 @@
+// Command tracecheck validates telemetry export files so the Makefile's
+// telemetry-smoke target needs no external JSON tooling.
+//
+//	tracecheck -trace t.json         # Chrome trace-event JSON
+//	tracecheck -trace t.jsonl        # JSON-lines trace
+//	tracecheck -metrics m.json       # evbench-metrics/v1 document
+//
+// Each file is parsed and schema-checked (required fields, known stage /
+// outcome / metric-type vocabularies, monotone timestamps per stream); a
+// one-line summary per valid file goes to stdout, problems to stderr with
+// exit status 1.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+var stages = map[string]bool{
+	"gen": true, "enqueue": true, "merge": true, "slot": true, "commit": true,
+}
+
+var outcomes = map[string]bool{
+	"": true, "stored": true, "coalesced": true, "shed": true, "dropped": true,
+	"piggyback": true, "injected": true,
+}
+
+var metricTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+}
+
+func main() {
+	traceFile := flag.String("trace", "", "trace `file` to validate (.jsonl = JSON lines, else Chrome JSON)")
+	metricsFile := flag.String("metrics", "", "metrics document `file` to validate")
+	flag.Parse()
+
+	if *traceFile == "" && *metricsFile == "" {
+		fmt.Fprintln(os.Stderr, "tracecheck: nothing to do (need -trace and/or -metrics)")
+		os.Exit(2)
+	}
+	ok := true
+	if *traceFile != "" {
+		var err error
+		if strings.HasSuffix(*traceFile, ".jsonl") {
+			err = checkJSONL(*traceFile)
+		} else {
+			err = checkChrome(*traceFile)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", *traceFile, err)
+			ok = false
+		}
+	}
+	if *metricsFile != "" {
+		if err := checkMetrics(*metricsFile); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", *metricsFile, err)
+			ok = false
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// checkChrome validates a Chrome trace-event JSON array: metadata events
+// name processes/threads, instant events carry a valid stage name and
+// non-decreasing timestamps per (pid, tid).
+func checkChrome(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var evs []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	}
+	if err := json.Unmarshal(data, &evs); err != nil {
+		return fmt.Errorf("not a JSON array of trace events: %w", err)
+	}
+	meta, instants := 0, 0
+	lastTs := map[[2]int]float64{}
+	for i, ev := range evs {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Args["name"] == nil {
+				return fmt.Errorf("event %d: metadata without args.name", i)
+			}
+		case "i":
+			instants++
+			stage, _, _ := strings.Cut(ev.Name, ":")
+			if !stages[stage] {
+				return fmt.Errorf("event %d: unknown stage %q", i, ev.Name)
+			}
+			if ev.Ts < 0 {
+				return fmt.Errorf("event %d: negative timestamp", i)
+			}
+			key := [2]int{ev.Pid, ev.Tid}
+			if ev.Ts < lastTs[key] {
+				return fmt.Errorf("event %d: timestamps not monotone within stream pid=%d tid=%d", i, ev.Pid, ev.Tid)
+			}
+			lastTs[key] = ev.Ts
+		default:
+			return fmt.Errorf("event %d: unexpected ph %q", i, ev.Ph)
+		}
+	}
+	fmt.Printf("tracecheck: %s ok: %d instant events, %d metadata, %d streams\n",
+		path, instants, meta, len(lastTs))
+	return nil
+}
+
+// checkJSONL validates a JSON-lines trace: every line an object with
+// run/stream/stage, known stage and outcome names, monotone ts_ps per
+// (run, stream).
+func checkJSONL(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	lastTs := map[string]int64{}
+	for sc.Scan() {
+		n++
+		var rec struct {
+			Run     string `json:"run"`
+			Stream  string `json:"stream"`
+			TsPs    int64  `json:"ts_ps"`
+			Stage   string `json:"stage"`
+			Kind    string `json:"kind"`
+			Outcome string `json:"outcome"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return fmt.Errorf("line %d: %w", n, err)
+		}
+		if rec.Run == "" || rec.Stream == "" {
+			return fmt.Errorf("line %d: missing run/stream", n)
+		}
+		if !stages[rec.Stage] {
+			return fmt.Errorf("line %d: unknown stage %q", n, rec.Stage)
+		}
+		if !outcomes[rec.Outcome] {
+			return fmt.Errorf("line %d: unknown outcome %q", n, rec.Outcome)
+		}
+		key := rec.Run + "\x00" + rec.Stream
+		if rec.TsPs < lastTs[key] {
+			return fmt.Errorf("line %d: ts_ps not monotone within stream %s/%s", n, rec.Run, rec.Stream)
+		}
+		lastTs[key] = rec.TsPs
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("tracecheck: %s ok: %d records, %d streams\n", path, n, len(lastTs))
+	return nil
+}
+
+// checkMetrics validates an evbench-metrics/v1 document: schema marker,
+// per-run sorted metric names, known types, histogram bucket sanity.
+func checkMetrics(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Schema string `json:"schema"`
+		Runs   []struct {
+			Label   string `json:"label"`
+			Metrics []struct {
+				Name    string `json:"name"`
+				Type    string `json:"type"`
+				Count   uint64 `json:"count"`
+				Max     uint64 `json:"max"`
+				Buckets []struct {
+					Low, High, Count uint64
+				} `json:"buckets"`
+			} `json:"metrics"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("not a metrics document: %w", err)
+	}
+	if doc.Schema != "evbench-metrics/v1" {
+		return fmt.Errorf("unexpected schema %q", doc.Schema)
+	}
+	total := 0
+	for _, run := range doc.Runs {
+		if run.Label == "" {
+			return fmt.Errorf("run without label")
+		}
+		prev := ""
+		prevType := ""
+		for _, m := range run.Metrics {
+			total++
+			if m.Name == "" || !metricTypes[m.Type] {
+				return fmt.Errorf("run %s: bad metric %q type %q", run.Label, m.Name, m.Type)
+			}
+			if m.Name < prev || (m.Name == prev && m.Type <= prevType) {
+				return fmt.Errorf("run %s: metrics not in sorted order at %q", run.Label, m.Name)
+			}
+			prev, prevType = m.Name, m.Type
+			if m.Type == "histogram" {
+				var inBuckets uint64
+				for _, b := range m.Buckets {
+					if b.Low > b.High {
+						return fmt.Errorf("run %s: metric %s: inverted bucket", run.Label, m.Name)
+					}
+					inBuckets += b.Count
+				}
+				if inBuckets != m.Count {
+					return fmt.Errorf("run %s: metric %s: bucket counts %d != count %d",
+						run.Label, m.Name, inBuckets, m.Count)
+				}
+				if len(m.Buckets) > 0 {
+					last := m.Buckets[len(m.Buckets)-1]
+					if m.Max < last.Low || m.Max > last.High {
+						return fmt.Errorf("run %s: metric %s: max %d outside top bucket [%d,%d]",
+							run.Label, m.Name, m.Max, last.Low, last.High)
+					}
+				}
+			}
+		}
+	}
+	fmt.Printf("tracecheck: %s ok: %d runs, %d metrics\n", path, len(doc.Runs), total)
+	return nil
+}

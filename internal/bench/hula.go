@@ -10,6 +10,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/packet"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -50,6 +51,7 @@ func HULABench() *Result {
 			flows:       12,
 			flowRate:    660 * sim.Mbps,
 			domains:     Domains(),
+			tel:         trialCollector(fmt.Sprintf("hula/t%02d", trial)),
 		})
 		return []string{cfg.name, cfg.period.String(),
 			fmt.Sprintf("%.3f", m.jain), fmt.Sprintf("%.0f", m.probesPerSec), d(m.moved)}
@@ -77,6 +79,9 @@ type fabricSpec struct {
 	// domains splits the fabric's switches across that many partition
 	// domains (switch index modulo domains); 1 runs single-scheduler.
 	domains int
+	// tel, when non-nil, instruments every switch and snapshots link
+	// counters after the run. Byte-identical at every domains value.
+	tel *telemetry.Collector
 }
 
 // fabricMetrics is what one fabric run measures. digest folds every
@@ -158,6 +163,11 @@ func runHULAFabric(spec fabricSpec) fabricMetrics {
 		net.AddSwitch(sw)
 	}
 	net.ConnectLeafSpine(tors, spines, sim.Microsecond)
+	if spec.tel != nil {
+		// After every AddSwitch (stream creation order = switch order) and
+		// before the run; all instruments exist before domains go parallel.
+		net.EnableTelemetry(spec.tel)
+	}
 
 	// One host per ToR (attach order matches the seed's 2x2 wiring:
 	// highest-numbered ToR hosts first, tor0's sender last).
@@ -223,6 +233,9 @@ func runHULAFabric(spec fabricSpec) fabricMetrics {
 
 	net.Run(spec.horizon)
 	faults.MustAudit(net)
+	if spec.tel != nil {
+		net.RecordLinkTelemetry(spec.tel)
+	}
 
 	var sum, sumsq float64
 	for _, b := range uplinkBytes {

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Report is the machine-readable record of one experiment run, written
@@ -22,17 +24,29 @@ type Report struct {
 	Domains     int       `json:"domains"`
 	GoMaxProcs  int       `json:"gomaxprocs"`
 	NumCPU      int       `json:"num_cpu"`
+	GoVersion   string    `json:"go_version"`
+	GOOS        string    `json:"goos"`
+	GOARCH      string    `json:"goarch"`
 	// CyclesPerSec aggregates the Perf samples (total simulated switch
 	// cycles over total sample wall time); 0 when the experiment records
 	// no samples.
 	CyclesPerSec float64      `json:"cycles_per_sec,omitempty"`
 	Perf         []PerfSample `json:"perf,omitempty"`
-	Table        string       `json:"table"`
+	// Telemetry summarizes the runs collected while the experiment ran
+	// (present only when evbench telemetry is enabled). The digest is the
+	// deterministic half — it must match across -parallel and -domains;
+	// the record counts are deterministic too, the summary merely compact.
+	Telemetry *telemetry.Summary `json:"telemetry,omitempty"`
+	Table     string             `json:"table"`
 }
 
 // RunReport executes the experiment under wall-clock and allocation
 // measurement and returns its Result alongside the filled-in Report.
 func RunReport(e Experiment) (*Result, *Report) {
+	if TelemetryEnabled() {
+		// Scope the telemetry section to this experiment's trials.
+		ResetTelemetryRuns()
+	}
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	start := time.Now()
@@ -50,8 +64,16 @@ func RunReport(e Experiment) (*Result, *Report) {
 		Domains:     Domains(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		NumCPU:      runtime.NumCPU(),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
 		Perf:        res.Perf,
 		Table:       res.String(),
+	}
+	if TelemetryEnabled() {
+		if sum, err := TelemetrySummary(); err == nil && sum.Runs > 0 {
+			rep.Telemetry = &sum
+		}
 	}
 	var cycles uint64
 	var perfWall float64

@@ -51,6 +51,7 @@ func ScaleBench() *Result {
 				probePeriod: 200 * sim.Microsecond, horizon: f.horizon,
 				flows: f.flows, flowRate: f.rate,
 				domains: domains,
+				tel:     trialCollector(fmt.Sprintf("scale/%s-d%d", label, domains)),
 			})
 			wall := time.Since(start)
 			ident := "baseline"

@@ -8,6 +8,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/pisa"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -42,7 +43,8 @@ func Staleness() *Result {
 	}
 	rows := RunParallel(len(grid), func(trial int) []string {
 		pt := grid[trial]
-		row := runStaleness(pt.overspeed, pt.load, horizon)
+		row := runStaleness(pt.overspeed, pt.load, horizon,
+			trialCollector(fmt.Sprintf("staleness/t%02d", trial)))
 		return append([]string{
 			fmt.Sprintf("%.2fx", pt.overspeed),
 			fmt.Sprintf("%.0f%%", pt.load*100),
@@ -58,9 +60,12 @@ func Staleness() *Result {
 	return res
 }
 
-func runStaleness(overspeed, load float64, horizon sim.Time) []string {
+func runStaleness(overspeed, load float64, horizon sim.Time, tel *telemetry.Collector) []string {
 	sched := sim.NewScheduler()
 	sw := core.New(core.Config{Overspeed: overspeed}, core.EventDriven(), sched)
+	if tel != nil {
+		sw.EnableTelemetry(tel)
+	}
 
 	prog := pisa.NewProgram("staleness")
 	occ := prog.AddRegister(pisa.NewAggregatedRegister("occ", 64,

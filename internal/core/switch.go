@@ -7,6 +7,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/pisa"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/tm"
 )
 
@@ -201,6 +202,13 @@ type Switch struct {
 	OnSlot func(info SlotInfo)
 
 	stats Stats
+
+	// tel is the switch's telemetry probe (nil until EnableTelemetry).
+	// Every probe point below is a nil-guarded field access, so the
+	// disabled path stays allocation- and branch-predictor-friendly.
+	tel        *telemetry.SwitchProbe
+	telCol     *telemetry.Collector
+	telSampler *sim.Ticker
 }
 
 // New builds a switch on the given scheduler with the given architecture.
@@ -281,6 +289,7 @@ func (s *Switch) Load(p *pisa.Program) error {
 		return err
 	}
 	s.prog = p
+	s.instrumentRegisters()
 	return nil
 }
 
@@ -306,7 +315,11 @@ func (s *Switch) pushEvent(e events.Event) {
 	}
 	e.Seq = s.evSeq
 	s.evSeq++
-	switch s.evq[e.Kind].Offer(e) {
+	out := s.evq[e.Kind].Offer(e)
+	if s.tel != nil {
+		s.tel.ObserveOffer(s.sched.Now(), e, out)
+	}
+	switch out {
 	case events.Coalesced:
 		s.stats.EventsCoalesced[e.Kind]++
 	case events.StoredShed:
@@ -589,6 +602,10 @@ func (s *Switch) runCycle() {
 	switch {
 	case havePkt:
 		s.stats.PacketSlots++
+		if s.tel != nil {
+			s.tel.Cycles.Inc()
+			s.tel.ObserveSlotStart(now, cycle, pktKind, true)
+		}
 	case nEvents > 0:
 		// No packet on the wire: the merger injects an empty packet to
 		// carry the event metadata (paper §5). The carrier is reused
@@ -597,9 +614,17 @@ func (s *Switch) runCycle() {
 		s.emptyPkt = packet.Packet{Empty: true, InPort: -1}
 		pkt = &s.emptyPkt
 		s.stats.EmptySlots++
+		if s.tel != nil {
+			s.tel.Cycles.Inc()
+			s.tel.ObserveSlotStart(now, cycle, pktKind, false)
+		}
 	default:
 		// Pure drain cycle: spare bandwidth applies aggregated updates.
 		s.stats.DrainSlots++
+		if s.tel != nil {
+			s.tel.Cycles.Inc()
+			s.tel.DrainSlots.Inc()
+		}
 		if s.prog != nil {
 			s.prog.EndCycle()
 		}
@@ -631,6 +656,9 @@ func (s *Switch) runCycle() {
 		}
 		if s.prog.Handles(pktKind) {
 			s.stats.EventsMerged[pktKind]++
+			if s.tel != nil {
+				s.tel.Merged[pktKind].Inc()
+			}
 			s.prog.Apply(ctx)
 		}
 	}
@@ -638,6 +666,10 @@ func (s *Switch) runCycle() {
 		for i := 0; i < nEvents; i++ {
 			ctx.Ev = slotEvents[i]
 			s.stats.EventsMerged[kinds[i]]++
+			if s.tel != nil {
+				s.tel.Merged[kinds[i]].Inc()
+				s.tel.ObserveMerge(now, cycle, slotEvents[i], havePkt)
+			}
 			s.prog.Apply(ctx)
 		}
 		ctx.Ev = pktEv

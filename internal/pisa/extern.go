@@ -180,6 +180,16 @@ func (r *SharedRegister) Stale(idx uint32) uint64 {
 	return r.mainArr().Peek(idx % uint32(r.size))
 }
 
+// SetDrainHook installs an observer called for each aggregated delta as
+// it drains into the main array, with the entry index and the cycles it
+// waited (the paper's per-drain staleness). A multi-ported register never
+// defers, so the hook is a no-op there.
+func (r *SharedRegister) SetDrainHook(fn func(idx uint32, lag uint64)) {
+	if r.agg != nil {
+		r.agg.SetDrainHook(fn)
+	}
+}
+
 // Reset zeroes the register from the control plane, discarding any
 // pending aggregated deltas (the logical value becomes zero everywhere).
 func (r *SharedRegister) Reset() {

@@ -25,6 +25,7 @@ type Partition struct {
 	scheds    []*Scheduler
 	lookahead Time
 	barriers  []func()
+	windows   uint64 // conservative windows executed (telemetry)
 }
 
 // NewPartition builds a partition of n fresh schedulers (n >= 1).
@@ -113,6 +114,7 @@ func (p *Partition) parallelRun(edge Time, incl bool) uint64 {
 func (p *Partition) Run(until Time) uint64 {
 	if len(p.scheds) == 1 {
 		p.barrier()
+		p.windows++
 		n := p.scheds[0].Run(until)
 		p.barrier()
 		return n
@@ -136,9 +138,18 @@ func (p *Partition) Run(until Time) uint64 {
 		if p.lookahead < until-s {
 			edge = s + p.lookahead
 		}
+		p.windows++
 		total += p.parallelRun(edge, false)
 	}
+	p.windows++
 	total += p.parallelRun(until, true)
 	p.barrier()
 	return total
 }
+
+// Windows returns the number of conservative windows executed across all
+// Run calls (1 per Run in the single-domain fast path). With per-domain
+// Fired() counts it describes the parallel run's shape for telemetry;
+// window counts depend on the domain count and lookahead, so they belong
+// in run metadata, not in exports compared across domain counts.
+func (p *Partition) Windows() uint64 { return p.windows }

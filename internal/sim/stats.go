@@ -8,13 +8,15 @@ import (
 
 // Stats accumulates scalar samples and reports summary statistics.
 // It keeps all samples, so percentiles are exact; simulations here record
-// at most a few million samples per metric.
+// at most a few million samples per metric. Samples stay in insertion
+// order — Percentile sorts a cached copy, so readers iterating Samples
+// mid-measurement never observe a reordering.
 type Stats struct {
 	samples []float64
+	sorted  []float64 // cached sorted copy, valid while len == len(samples)
 	sum     float64
 	min     float64
 	max     float64
-	sorted  bool
 }
 
 // NewStats returns an empty accumulator.
@@ -32,8 +34,37 @@ func (s *Stats) Add(v float64) {
 	if v > s.max {
 		s.max = v
 	}
-	s.sorted = false
 }
+
+// Reset empties the accumulator, keeping its capacity.
+func (s *Stats) Reset() {
+	s.samples = s.samples[:0]
+	s.sorted = s.sorted[:0]
+	s.sum = 0
+	s.min = math.Inf(1)
+	s.max = math.Inf(-1)
+}
+
+// AddAll merges every sample of o into s (o is unchanged). Histogram and
+// percentile export paths use it to fold per-trial accumulators into one
+// distribution.
+func (s *Stats) AddAll(o *Stats) {
+	if o == nil || len(o.samples) == 0 {
+		return
+	}
+	s.samples = append(s.samples, o.samples...)
+	s.sum += o.sum
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+}
+
+// Samples returns the recorded samples in insertion order. The slice is
+// the accumulator's own storage: read-only, valid until the next Add.
+func (s *Stats) Samples() []float64 { return s.samples }
 
 // AddTime records a Time sample in picoseconds.
 func (s *Stats) AddTime(t Time) { s.Add(float64(t)) }
@@ -84,21 +115,23 @@ func (s *Stats) Stddev() float64 {
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) using
-// nearest-rank, or 0 when empty.
+// nearest-rank, or 0 when empty. It sorts a cached copy of the samples,
+// leaving the insertion-order view (Samples) untouched; the copy is
+// rebuilt only after new samples arrive.
 func (s *Stats) Percentile(p float64) float64 {
 	n := len(s.samples)
 	if n == 0 {
 		return 0
 	}
-	if !s.sorted {
-		sort.Float64s(s.samples)
-		s.sorted = true
+	if len(s.sorted) != n {
+		s.sorted = append(s.sorted[:0], s.samples...)
+		sort.Float64s(s.sorted)
 	}
 	if p <= 0 {
-		return s.samples[0]
+		return s.sorted[0]
 	}
 	if p >= 100 {
-		return s.samples[n-1]
+		return s.sorted[n-1]
 	}
 	rank := int(math.Ceil(p/100*float64(n))) - 1
 	if rank < 0 {
@@ -107,7 +140,7 @@ func (s *Stats) Percentile(p float64) float64 {
 	if rank >= n {
 		rank = n - 1
 	}
-	return s.samples[rank]
+	return s.sorted[rank]
 }
 
 // String summarizes the distribution for logs and experiment tables.

@@ -32,7 +32,15 @@ type Aggregated struct {
 	stalenessMax  uint64
 	drainPriority []int // bank indices in drain order
 	rrNext        int   // round-robin pointer over drainPriority
+
+	// onDrain, when non-nil, observes each drained delta with its index
+	// and the cycles it waited in its bank. Telemetry attaches here
+	// without this package importing it.
+	onDrain func(idx uint32, lag uint64)
 }
+
+// SetDrainHook installs the per-drain observer (nil removes it).
+func (ag *Aggregated) SetDrainHook(fn func(idx uint32, lag uint64)) { ag.onDrain = fn }
 
 // bank is one event class's aggregation register array. The physical
 // memory is a 1R1W dual-ported SRAM: the event thread's read-modify-write
@@ -197,6 +205,9 @@ func (ag *Aggregated) drainOne() bool {
 			ag.stalenessMax = lag
 		}
 		ag.drained++
+		if ag.onDrain != nil {
+			ag.onDrain(idx, lag)
+		}
 		return true
 	}
 	return false

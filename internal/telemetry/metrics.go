@@ -1,0 +1,213 @@
+// Package telemetry is the simulator's observability subsystem: a
+// metrics registry (named counters, gauges, and fixed-boundary log2
+// histograms), an event-lifecycle tracer recording bounded per-stream
+// ring buffers, and deterministic exporters (Chrome/Perfetto trace-event
+// JSON, JSONL, and a metrics JSON document).
+//
+// Everything is driven by simulated time, never the wall clock, and every
+// instrument is single-writer: a counter, gauge, histogram, or trace
+// stream is owned by exactly one simulation domain (the switch or
+// register it instruments), so a partitioned run (sim.Partition) updates
+// telemetry concurrently without locks and still exports byte-identical
+// output at any domain count. The hot-path operations — Counter.Add,
+// Gauge.Set, Histogram.Observe, Stream.Emit — allocate nothing; rings and
+// bucket arrays are sized at construction.
+package telemetry
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Counter is a monotonically increasing metric. It is owned by a single
+// simulation domain; Add is a plain field increment.
+type Counter struct{ v uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is a point-in-time value (an occupancy, a depth). Set overwrites;
+// the exported value is the last one set.
+type Gauge struct{ v int64 }
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(v int64) { g.v = v }
+
+// Value returns the last value set.
+func (g *Gauge) Value() int64 { return g.v }
+
+// HistBuckets is the number of fixed log2 histogram buckets: bucket 0
+// holds the value 0 and bucket i (1..64) holds values v with
+// 2^(i-1) <= v < 2^i, i.e. bits.Len64(v) == i.
+const HistBuckets = 65
+
+// Histogram is a fixed-boundary log2 histogram over uint64 samples.
+// Observe is an array increment — no allocation, no search.
+type Histogram struct {
+	buckets [HistBuckets]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bits.Len64(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Max returns the largest sample observed (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+// MaxBucket returns the index of the highest non-empty bucket, or -1 when
+// the histogram is empty.
+func (h *Histogram) MaxBucket() int {
+	for i := HistBuckets - 1; i >= 0; i-- {
+		if h.buckets[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// BucketLow returns the smallest value that falls in bucket i.
+func BucketLow(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 << (i - 1)
+}
+
+// BucketHigh returns the largest value that falls in bucket i.
+func BucketHigh(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<i - 1
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot.
+type Bucket struct {
+	Low   uint64 `json:"low"`
+	High  uint64 `json:"high"`
+	Count uint64 `json:"count"`
+}
+
+// Metric is one instrument's exported state.
+type Metric struct {
+	Name string `json:"name"`
+	Type string `json:"type"` // "counter" | "gauge" | "histogram"
+	// Value is the counter or gauge value (absent for histograms).
+	Value int64 `json:"value,omitempty"`
+	// Histogram fields (absent for counters and gauges).
+	Count   uint64   `json:"count,omitempty"`
+	Sum     uint64   `json:"sum,omitempty"`
+	Max     uint64   `json:"max,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Registry holds named instruments. Create every instrument during
+// single-threaded setup; during a run the registry is read-only (probes
+// hold direct pointers) so concurrent domains never touch the maps.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// Len returns the number of registered instruments.
+func (r *Registry) Len() int {
+	return len(r.counters) + len(r.gauges) + len(r.hists)
+}
+
+// Snapshot returns every instrument's state sorted by name (type breaks
+// the tie), so two registries built by the same run always export
+// byte-identical metric lists regardless of map iteration order.
+func (r *Registry) Snapshot() []Metric {
+	out := make([]Metric, 0, r.Len())
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Type: "counter", Value: int64(c.v)})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Type: "gauge", Value: g.v})
+	}
+	for name, h := range r.hists {
+		m := Metric{Name: name, Type: "histogram", Count: h.count, Sum: h.sum, Max: h.max}
+		for i := 0; i < HistBuckets; i++ {
+			if h.buckets[i] != 0 {
+				m.Buckets = append(m.Buckets, Bucket{
+					Low: BucketLow(i), High: BucketHigh(i), Count: h.buckets[i],
+				})
+			}
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}
