@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench evbench bench-json bench-smoke telemetry-smoke
+.PHONY: check vet build test race fuzz bench evbench bench-json bench-smoke bench-diff telemetry-smoke
 
 # The gate everything must pass: static checks, a full build, the test
 # suite, the concurrency-sensitive packages (parallel experiment
@@ -18,7 +18,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/bench -run 'TestParallel|TestResilience|TestDomain|TestScale|TestTelemetry'
+	$(GO) test -race ./internal/bench -run 'TestParallel|TestResilience|TestDomain|TestScale|TestTelemetry|TestFastForward'
 	$(GO) test -race ./internal/sim -run 'TestPartition|TestAtWire|TestRunBefore'
 	$(GO) test -race ./internal/netsim -run 'TestPartitioned|TestScheduleLinkChange|TestCrossDomain'
 	$(GO) test -race ./internal/faults
@@ -40,6 +40,15 @@ evbench:
 # (wall time, allocations, cycles/s where measured).
 bench-json:
 	$(GO) run ./cmd/evbench -benchjson .
+
+# Compare two BENCH_<id>.json reports (override OLD/NEW):
+#   make bench-diff OLD=BENCH_scale.before.json NEW=BENCH_scale.json
+# Prints malloc / alloc-bytes / wall / cycles-per-sec deltas and fails if
+# the deterministic table or telemetry digest changed.
+OLD ?= BENCH_scale.before.json
+NEW ?= BENCH_scale.json
+bench-diff:
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
 
 # Quick cross-check that the partitioned engine changes nothing: every
 # experiment's table diffed between -domains 1 and -domains 2.

@@ -1,0 +1,107 @@
+// Command benchdiff compares two BENCH_<experiment>.json reports (see
+// internal/bench.Report) and prints the malloc, allocated-bytes, wall-time
+// and cycles-per-second deltas, so a perf change can be judged in one
+// glance:
+//
+//	benchdiff BENCH_scale.before.json BENCH_scale.json
+//
+// The deterministic experiment table embedded in each report is also
+// compared: a perf optimization must not change a single cell, so a table
+// mismatch is reported on stderr and exits non-zero.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func load(path string) *bench.Report {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	var rep bench.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return &rep
+}
+
+// row prints one metric line: old, new, and the improvement factor in the
+// direction where bigger is better (lowerIsBetter flips the ratio).
+func row(name string, oldV, newV float64, unit string, lowerIsBetter bool) {
+	ratio := 0.0
+	switch {
+	case lowerIsBetter && newV > 0:
+		ratio = oldV / newV
+	case !lowerIsBetter && oldV > 0:
+		ratio = newV / oldV
+	}
+	arrow := "better"
+	if ratio < 1 {
+		arrow = "worse"
+	}
+	if ratio == 0 {
+		fmt.Printf("%-14s %18s -> %-18s\n", name, fmtNum(oldV, unit), fmtNum(newV, unit))
+		return
+	}
+	fmt.Printf("%-14s %18s -> %-18s %6.2fx %s\n",
+		name, fmtNum(oldV, unit), fmtNum(newV, unit), ratio, arrow)
+}
+
+func fmtNum(v float64, unit string) string {
+	if unit == "" && v == float64(uint64(v)) {
+		return fmt.Sprintf("%d", uint64(v))
+	}
+	return fmt.Sprintf("%.2f%s", v, unit)
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldRep, newRep := load(flag.Arg(0)), load(flag.Arg(1))
+	if oldRep.Experiment != newRep.Experiment {
+		fmt.Fprintf(os.Stderr, "benchdiff: comparing different experiments: %q vs %q\n",
+			oldRep.Experiment, newRep.Experiment)
+	}
+	fmt.Printf("experiment %s: %s -> %s\n", newRep.Experiment, flag.Arg(0), flag.Arg(1))
+	row("mallocs", float64(oldRep.Mallocs), float64(newRep.Mallocs), "", true)
+	row("alloc_bytes", float64(oldRep.AllocBytes), float64(newRep.AllocBytes), "", true)
+	row("wall_seconds", oldRep.WallSeconds, newRep.WallSeconds, "s", true)
+	if oldRep.CyclesPerSec > 0 || newRep.CyclesPerSec > 0 {
+		row("cycles_per_sec", oldRep.CyclesPerSec, newRep.CyclesPerSec, "", false)
+	}
+
+	ok := true
+	if oldRep.Table != newRep.Table {
+		fmt.Fprintln(os.Stderr, "benchdiff: DETERMINISTIC TABLE CHANGED — this is not a pure perf change")
+		ok = false
+	} else {
+		fmt.Println("table: identical")
+	}
+	if oldRep.Telemetry != nil && newRep.Telemetry != nil {
+		if oldRep.Telemetry.Digest != newRep.Telemetry.Digest {
+			fmt.Fprintf(os.Stderr, "benchdiff: TELEMETRY DIGEST CHANGED: %s -> %s\n",
+				oldRep.Telemetry.Digest, newRep.Telemetry.Digest)
+			ok = false
+		} else {
+			fmt.Println("telemetry digest: identical")
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

@@ -51,6 +51,14 @@ type HULA struct {
 
 	sw           *core.Switch
 	utilInterval sim.Time
+
+	// probeScratch and the scratch frame buffers below are reused across
+	// probe emissions: the switch core copies generator/Emit frames into
+	// pooled packets before the buffers are touched again, so per-probe
+	// serialization allocates nothing in steady state.
+	probeScratch packet.Probe
+	genBuf       []byte
+	emitBufs     [][]byte
 }
 
 // NewHULA builds the balancer program for one switch. Call Attach after
@@ -138,7 +146,10 @@ func NewHULA(cfg HULAConfig) (*HULA, *pisa.Program) {
 			return
 		}
 		for _, port := range cfg.UplinkPorts[1:] {
-			ctx.Emit(append([]byte(nil), ctx.Pkt.Data...), port)
+			// The slot packet stays live until the core copies the
+			// emitted frames into pooled packets, so its bytes can be
+			// emitted directly without a defensive copy.
+			ctx.Emit(ctx.Pkt.Data, port)
 		}
 		ctx.EgressPort = cfg.UplinkPorts[0]
 	})
@@ -213,12 +224,13 @@ func (h *HULA) Attach(sw *core.Switch, refresh sim.Time) error {
 	}
 	return sw.AddGenerator(h.cfg.ProbePeriod, func(seq uint64) ([]byte, int) {
 		h.ProbesSent++
-		probe := &packet.Probe{
+		h.probeScratch = packet.Probe{
 			TorID: h.cfg.TorID,
 			Seq:   uint32(seq),
 		}
-		return packet.BuildControlFrame(packet.Broadcast,
-			packet.MACFromUint64(uint64(h.cfg.TorID)), probe), -1
+		h.genBuf = packet.AppendControlFrame(h.genBuf[:0], packet.Broadcast,
+			packet.MACFromUint64(uint64(h.cfg.TorID)), &h.probeScratch)
+		return h.genBuf, -1
 	})
 }
 
@@ -257,6 +269,7 @@ func SpineProbeRelay(ports int, tors int, torPortOf func(tor int) int) (*HULA, *
 			// The spine knows the utilization of each of its links; the
 			// probe's path includes the egress link it will take, so
 			// each copy carries max(path, that link).
+			nEmit := 0
 			for port := 0; port < ports; port++ {
 				if port == ctx.Pkt.InPort {
 					continue
@@ -265,13 +278,20 @@ func SpineProbeRelay(ports int, tors int, torPortOf func(tor int) int) (*HULA, *
 				if h.linkUtil[port] > u {
 					u = h.linkUtil[port]
 				}
-				out := packet.Probe{
+				// One scratch buffer per emitted copy: every buffer must
+				// stay live until the core copies the emitted frames into
+				// pooled packets at the end of the slot.
+				if len(h.emitBufs) <= nEmit {
+					h.emitBufs = append(h.emitBufs, nil)
+				}
+				h.probeScratch = packet.Probe{
 					TorID: pr.TorID, PathID: pr.PathID,
 					MaxUtil: u, Hops: pr.Hops + 1, Seq: pr.Seq,
 				}
-				data := packet.BuildControlFrame(packet.Broadcast,
-					packet.MACFromUint64(uint64(pr.TorID)), &out)
-				ctx.Emit(data, port)
+				h.emitBufs[nEmit] = packet.AppendControlFrame(h.emitBufs[nEmit][:0],
+					packet.Broadcast, packet.MACFromUint64(uint64(pr.TorID)), &h.probeScratch)
+				ctx.Emit(h.emitBufs[nEmit], port)
+				nEmit++
 			}
 			ctx.Drop()
 			return

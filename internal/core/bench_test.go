@@ -82,6 +82,73 @@ func BenchmarkSwitchCycle(b *testing.B) {
 	}
 }
 
+// forwardRig builds an event-driven switch with register aggregation and
+// returns a step that forwards one min-size packet end to end, with every
+// pool and ring warmed past its steady-state size.
+func forwardRig(tb testing.TB) (step func(), sw *Switch) {
+	sched := sim.NewScheduler()
+	sw = New(Config{}, EventDriven(), sched)
+	prog := pisa.NewProgram("fwd")
+	occ := prog.AddRegister(pisa.NewAggregatedRegister("occ", 64,
+		events.BufferEnqueue, events.BufferDequeue))
+	prog.HandleFunc(events.IngressPacket, func(ctx *pisa.Context) {
+		_ = occ.Read(ctx, uint32(ctx.Pkt.InPort^1))
+		ctx.EgressPort = ctx.Pkt.InPort ^ 1
+	})
+	prog.HandleFunc(events.BufferEnqueue, func(ctx *pisa.Context) {
+		occ.Add(ctx, uint32(ctx.Ev.Port), int64(ctx.Ev.PktLen))
+	})
+	prog.HandleFunc(events.BufferDequeue, func(ctx *pisa.Context) {
+		occ.Add(ctx, uint32(ctx.Ev.Port), -int64(ctx.Ev.PktLen))
+	})
+	sw.MustLoad(prog)
+	data := packet.BuildFrame(packet.FrameSpec{Flow: packet.Flow{
+		Src: packet.IP4(10, 0, 0, 1), Dst: packet.IP4(10, 1, 0, 1),
+		SrcPort: 1, DstPort: 2, Proto: packet.ProtoUDP,
+	}})
+	gap := (10 * sim.Gbps).ByteTime(len(data) + WireOverhead)
+	step = func() {
+		sw.Inject(0, data)
+		sched.Run(sched.Now() + gap)
+	}
+	for i := 0; i < 300; i++ {
+		step()
+	}
+	return step, sw
+}
+
+// BenchmarkSwitchForwardPath measures the steady-state pooled forward
+// path: inject -> rx queue -> pipeline slot -> register aggregation -> TM
+// -> egress -> transmit -> release, one packet per iteration (0
+// allocs/op).
+func BenchmarkSwitchForwardPath(b *testing.B) {
+	step, sw := forwardRig(b)
+	before := sw.Stats().TxPackets
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+	b.StopTimer()
+	if sw.Stats().TxPackets == before {
+		b.Fatal("nothing forwarded")
+	}
+}
+
+// TestSwitchForwardZeroAlloc asserts the per-packet forward path performs
+// zero heap allocations in steady state — the pooled-lifecycle regression
+// guard next to the per-cycle one below.
+func TestSwitchForwardZeroAlloc(t *testing.T) {
+	step, sw := forwardRig(t)
+	before := sw.Stats().TxPackets
+	if avg := testing.AllocsPerRun(500, step); avg != 0 {
+		t.Errorf("per-packet forward path allocates %v per packet, want 0", avg)
+	}
+	if sw.Stats().TxPackets == before {
+		t.Fatal("nothing forwarded during the measurement")
+	}
+}
+
 // TestSwitchCycleZeroAlloc is the regression guard for the scheduler and
 // merger hot-path pooling: in steady state a pipeline cycle driven by
 // timer events must not allocate at all. Before the free-list scheduler

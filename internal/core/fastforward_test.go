@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/events"
+	"repro/internal/packet"
+	"repro/internal/pisa"
+	"repro/internal/sim"
+)
+
+// TestDrainFastForwardEquivalence is the core-level differential for the
+// idle-cycle drain fast-forward: the same injected workload run with
+// fast-forward disabled (cycle lane re-armed once per drain cycle) and
+// enabled (batched DrainN replay) must produce identical switch stats,
+// identical per-delta drain observations in identical order, and identical
+// final register contents.
+func TestDrainFastForwardEquivalence(t *testing.T) {
+	type obs struct {
+		idx uint32
+		lag uint64
+	}
+	run := func(noFF bool) (recs []obs, st Stats, vals []int64) {
+		sched := sim.NewScheduler()
+		sw := New(Config{NoDrainFastForward: noFF}, EventDriven(), sched)
+		prog := pisa.NewProgram("diff")
+		occ := prog.AddRegister(pisa.NewAggregatedRegister("occ", 64,
+			events.BufferEnqueue, events.BufferDequeue))
+		prog.HandleFunc(events.IngressPacket, func(ctx *pisa.Context) {
+			_ = occ.Read(ctx, uint32(ctx.Pkt.InPort^1))
+			ctx.EgressPort = ctx.Pkt.InPort ^ 1
+		})
+		prog.HandleFunc(events.BufferEnqueue, func(ctx *pisa.Context) {
+			occ.Add(ctx, uint32(ctx.Ev.Port), int64(ctx.Ev.PktLen))
+		})
+		prog.HandleFunc(events.BufferDequeue, func(ctx *pisa.Context) {
+			occ.Add(ctx, uint32(ctx.Ev.Port), -int64(ctx.Ev.PktLen))
+		})
+		sw.MustLoad(prog)
+		for _, r := range prog.Registers() {
+			r.SetDrainHook(func(idx uint32, lag uint64) {
+				recs = append(recs, obs{idx, lag})
+			})
+		}
+
+		// Bursts separated by idle stretches: each burst leaves aggregation
+		// backlog that drains during the gap — the fast-forward's target —
+		// and the next burst checks the registers resynchronized exactly.
+		data := packet.BuildFrame(packet.FrameSpec{Flow: packet.Flow{
+			Src: packet.IP4(10, 0, 0, 1), Dst: packet.IP4(10, 1, 0, 1),
+			SrcPort: 1, DstPort: 2, Proto: packet.ProtoUDP,
+		}})
+		gap := (10 * sim.Gbps).ByteTime(len(data) + WireOverhead)
+		for burst := 0; burst < 5; burst++ {
+			for i := 0; i < 8; i++ {
+				sw.Inject(i%4, data)
+				sched.Run(sched.Now() + gap)
+			}
+			// Idle stretch: run far past the backlog so both modes go
+			// quiet, partially in several Run horizons (the fast-forward
+			// must stop at each horizon exactly like the slow path).
+			for k := 0; k < 4; k++ {
+				sched.Run(sched.Now() + 30*sw.CycleTime())
+			}
+			sched.Run(sched.Now() + sim.Millisecond)
+		}
+		for i := uint32(0); i < 64; i++ {
+			vals = append(vals, int64(occ.Stale(i)), occ.True(i))
+		}
+		return recs, sw.Stats(), vals
+	}
+
+	slowRecs, slowStats, slowVals := run(true)
+	fastRecs, fastStats, fastVals := run(false)
+
+	if len(slowRecs) == 0 {
+		t.Fatal("no drains observed; scenario exercises nothing")
+	}
+	if len(slowRecs) != len(fastRecs) {
+		t.Fatalf("drain count differs: slow %d, fast %d", len(slowRecs), len(fastRecs))
+	}
+	for i := range slowRecs {
+		if slowRecs[i] != fastRecs[i] {
+			t.Fatalf("drain %d differs: slow %+v, fast %+v", i, slowRecs[i], fastRecs[i])
+		}
+	}
+	if slowStats != fastStats {
+		t.Errorf("stats differ:\nslow %+v\nfast %+v", slowStats, fastStats)
+	}
+	for i := range slowVals {
+		if slowVals[i] != fastVals[i] {
+			t.Fatalf("register value %d differs: slow %d, fast %d", i, slowVals[i], fastVals[i])
+		}
+	}
+}

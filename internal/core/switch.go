@@ -67,7 +67,19 @@ type Config struct {
 	// coalesces per port (a flap burst collapses to each port's final
 	// state), every other kind drops the newest event when full.
 	EventOverflow map[events.Kind]events.OverflowPolicy
+	// NoDrainFastForward disables the idle-cycle drain fast-forward for
+	// this switch: drain-only stretches then run cycle-by-cycle on the
+	// scheduler lane. Differential tests use it to pin the fast path
+	// against the slow one; results are identical either way.
+	NoDrainFastForward bool
 }
+
+// ForceSlowDrain globally disables the drain fast-forward (as if every
+// switch were built with NoDrainFastForward). Differential and
+// determinism tests flip it to prove the batched drain replays the
+// cycle-by-cycle path exactly. Not for concurrent mutation: set it before
+// building switches.
+var ForceSlowDrain bool
 
 func (c Config) withDefaults() Config {
 	if c.Ports <= 0 {
@@ -162,6 +174,18 @@ type Switch struct {
 	nextCycleAt sim.Time
 	cycleIdx    uint64
 	cycleLane   *sim.Lane
+	noFF        bool
+
+	// slotNow/slotCycle snapshot the (time, cycle) pair at the top of the
+	// last runCycle. During a drain fast-forward the registers' cycles run
+	// ahead of the scheduler clock; telemetry reconstructs each drained
+	// delta's virtual timestamp as slotNow + (regCycle-slotCycle)*cycleTime.
+	slotNow   sim.Time
+	slotCycle uint64
+
+	// pool recycles every packet the switch materializes (rx copies,
+	// generated frames): the steady-state forward path allocates nothing.
+	pool *packet.Pool
 
 	rxq        [][]*packet.Packet
 	rxHead     []int
@@ -214,7 +238,8 @@ type Switch struct {
 // New builds a switch on the given scheduler with the given architecture.
 func New(cfg Config, arch *Arch, sched *sim.Scheduler) *Switch {
 	cfg = cfg.withDefaults()
-	s := &Switch{cfg: cfg, arch: arch, sched: sched}
+	s := &Switch{cfg: cfg, arch: arch, sched: sched, pool: packet.NewPool()}
+	s.noFF = cfg.NoDrainFastForward || ForceSlowDrain
 
 	perPortMin := cfg.LineRate.ByteTime(minWireBytes)
 	s.cycleTime = sim.Time(float64(perPortMin) / (float64(cfg.Ports) * cfg.Overspeed))
@@ -347,7 +372,9 @@ func (s *Switch) InjectEvent(e events.Event) (ok bool) {
 }
 
 // Inject delivers a fully received frame to an input port (the caller
-// models wire timing). Frames arriving on a downed link are lost.
+// models wire timing). Frames arriving on a downed link are lost. The
+// frame bytes are copied into a pooled packet before Inject returns, so
+// the caller is free to reuse its buffer.
 func (s *Switch) Inject(port int, data []byte) {
 	if port < 0 || port >= s.cfg.Ports {
 		panic(fmt.Sprintf("core: inject on invalid port %d", port))
@@ -358,7 +385,7 @@ func (s *Switch) Inject(port int, data []byte) {
 	}
 	s.stats.RxPackets++
 	s.stats.RxBytes += uint64(len(data))
-	s.rxq[port] = append(s.rxq[port], &packet.Packet{Data: data, InPort: port})
+	s.rxq[port] = append(s.rxq[port], s.pool.GetCopy(data, port))
 	s.wake()
 }
 
@@ -397,8 +424,9 @@ func (s *Switch) StopTimer(id int) {
 // AddGenerator configures the packet generator to emit a frame every
 // period. mk builds each frame and names the output port, or -1 to let
 // the pipeline route it (the frame then traverses the pipeline as a
-// GeneratedPacket event). It errors when the architecture has no
-// generator block.
+// GeneratedPacket event). The returned frame is copied into a pooled
+// packet before the next tick, so mk may reuse a scratch buffer. It
+// errors when the architecture has no generator block.
 func (s *Switch) AddGenerator(period sim.Time, mk func(seq uint64) (data []byte, port int)) error {
 	if !s.arch.Generator {
 		return fmt.Errorf("core: architecture %q has no packet generator", s.arch.Name)
@@ -412,7 +440,8 @@ func (s *Switch) AddGenerator(period sim.Time, mk func(seq uint64) (data []byte,
 			return
 		}
 		s.stats.Generated++
-		pkt := &packet.Packet{Data: data, InPort: -1, Gen: true}
+		pkt := s.pool.GetCopy(data, -1)
+		pkt.Gen = true
 		if port >= 0 {
 			// Direct injection to the TM, as when the generator is
 			// configured with a fixed output port.
@@ -562,6 +591,7 @@ func (s *Switch) runCycle() {
 	s.stats.Cycles++
 
 	cycle := s.cycleIdx
+	s.slotNow, s.slotCycle = now, cycle
 	if s.prog != nil {
 		s.prog.Tick(cycle)
 	}
@@ -627,6 +657,9 @@ func (s *Switch) runCycle() {
 		}
 		if s.prog != nil {
 			s.prog.EndCycle()
+			if !s.noFF {
+				s.fastForwardDrain(now)
+			}
 		}
 		s.wake()
 		return
@@ -683,6 +716,79 @@ func (s *Switch) runCycle() {
 	s.wake()
 }
 
+// fastForwardDrain batches a drain-only stretch: having just executed a
+// pure drain cycle at now, it computes how many further consecutive cycles
+// could only ever be drain cycles — no scheduler event (which might
+// deliver a packet or raise an event) fires strictly before each of them,
+// and the active Run/RunBefore horizon is respected — and replays them in
+// one DrainN call per register instead of re-arming the cycle lane once
+// per cycle. DrainN reproduces the exact per-cycle round-robin drain
+// order, per-delta lag values and drain-hook callbacks, and the counters
+// below advance exactly as if each cycle had run, so every observable
+// (stats, telemetry, staleness histograms, partitioned windows) is
+// byte-identical to the slow path.
+//
+// The bound is conservative in exactly the right way: a cycle at
+// now + k*cycleTime may be replayed only while k*cycleTime stays strictly
+// below the next pending event (an event firing at or before a cycle's
+// instant could schedule packet work for it, and at equal instants the
+// event fires first — it was scheduled before the lane re-armed), and
+// while the cycle stays inside the scheduler's current run horizon
+// (inclusive for Run, strict for RunBefore) so windowed partitioned
+// execution pauses at the same cycle it would have.
+func (s *Switch) fastForwardDrain(now sim.Time) {
+	if !s.haveDrainWork() {
+		return
+	}
+	ct := int64(s.cycleTime)
+	maxK := int64(1) << 62
+	if na, ok := s.sched.NextAt(); ok {
+		if na <= now {
+			return
+		}
+		if k := (int64(na-now) - 1) / ct; k < maxK {
+			maxK = k
+		}
+	}
+	if limit, strict := s.sched.RunBound(); limit != sim.Forever {
+		d := int64(limit - now)
+		if strict {
+			d--
+		}
+		if d < 0 {
+			d = 0
+		}
+		if k := d / ct; k < maxK {
+			maxK = k
+		}
+	}
+	if maxK <= 0 {
+		return
+	}
+	// Each register fast-forwards independently from the shared current
+	// cycle; the stretch consumed is the longest any register needed
+	// (shorter ones simply have no backlog left — their remaining cycles
+	// are no-ops in the slow path too, and the next prog.Tick re-aligns
+	// them).
+	var used uint64
+	for _, r := range s.prog.Registers() {
+		if u := r.DrainN(uint64(maxK)); u > used {
+			used = u
+		}
+	}
+	if used == 0 {
+		return
+	}
+	s.cycleIdx += used
+	s.stats.Cycles += used
+	s.stats.DrainSlots += used
+	if s.tel != nil {
+		s.tel.Cycles.Add(used)
+		s.tel.DrainSlots.Add(used)
+	}
+	s.nextCycleAt = now + sim.Time(used+1)*s.cycleTime
+}
+
 // finishSlot applies the slot's side effects: user events, generated
 // packets, recirculation, and the forwarding decision.
 func (s *Switch) finishSlot(ctx *pisa.Context, havePkt bool) {
@@ -691,7 +797,8 @@ func (s *Switch) finishSlot(ctx *pisa.Context, havePkt bool) {
 	}
 	for _, g := range ctx.Generated {
 		s.stats.Generated++
-		pkt := &packet.Packet{Data: g.Data, InPort: -1, Gen: true}
+		pkt := s.pool.GetCopy(g.Data, -1)
+		pkt.Gen = true
 		if g.Port >= 0 && g.Port < s.cfg.Ports {
 			s.enqueueOut(pkt, g.Port, 0, 0, flowHashOf(g.Data))
 		} else {
@@ -714,6 +821,7 @@ func (s *Switch) finishSlot(ctx *pisa.Context, havePkt bool) {
 		if s.OnDrop != nil {
 			s.OnDrop(pkt, "pipeline-drop")
 		}
+		pkt.Release()
 		return
 	}
 	if ctx.EgressPort < 0 || ctx.EgressPort >= s.cfg.Ports {
@@ -721,6 +829,7 @@ func (s *Switch) finishSlot(ctx *pisa.Context, havePkt bool) {
 		if s.OnDrop != nil {
 			s.OnDrop(pkt, "bad-egress-port")
 		}
+		pkt.Release()
 		return
 	}
 	var fh uint64
@@ -772,6 +881,7 @@ func (s *Switch) enqueueOut(pkt *packet.Packet, port, q int, rank, flowHash uint
 		if s.OnDrop != nil {
 			s.OnDrop(pkt, "tm-overflow")
 		}
+		pkt.Release()
 		return
 	}
 	s.pump(port)
@@ -810,7 +920,8 @@ func (s *Switch) pump(port int) {
 		}
 		for _, g := range ctx.Generated {
 			s.stats.Generated++
-			gp := &packet.Packet{Data: g.Data, InPort: -1, Gen: true}
+			gp := s.pool.GetCopy(g.Data, -1)
+			gp.Gen = true
 			if g.Port >= 0 {
 				s.enqueueOut(gp, g.Port, 0, 0, flowHashOf(g.Data))
 			} else {
@@ -825,6 +936,7 @@ func (s *Switch) pump(port int) {
 			if s.OnDrop != nil {
 				s.OnDrop(pkt, "egress-drop")
 			}
+			pkt.Release()
 			s.pump(port)
 			return
 		}
@@ -834,6 +946,7 @@ func (s *Switch) pump(port int) {
 		if s.OnDrop != nil {
 			s.OnDrop(pkt, "link-down")
 		}
+		pkt.Release()
 		s.pump(port)
 		return
 	}
@@ -857,8 +970,11 @@ func (s *Switch) txComplete(port int) {
 		Port: port, PktLen: pkt.Len(),
 	})
 	if s.OnTransmit != nil {
+		// netsim's transmit hook copies the frame into its own pooled
+		// buffers before returning, so the packet can be recycled here.
 		s.OnTransmit(port, pkt)
 	}
+	pkt.Release()
 	s.pump(port)
 }
 

@@ -1,0 +1,67 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// deliverRig wires host -> switch -> host with real link latency, warms the
+// pools, and returns a step function that pushes one frame end to end.
+func deliverRig(tb testing.TB) (step func(), rx *uint64) {
+	sched := sim.NewScheduler()
+	net := New(sched)
+	sw := core.New(core.Config{Name: "s"}, core.EventDriven(), sched)
+	sw.MustLoad(fwdTo(1))
+	net.AddSwitch(sw)
+	src := net.NewHost("src", packet.IP4(10, 0, 0, 1))
+	dst := net.NewHost("dst", packet.IP4(10, 0, 0, 2))
+	net.Attach(src, sw, 0, 100*sim.Nanosecond)
+	net.Attach(dst, sw, 1, 100*sim.Nanosecond)
+
+	data := testFrame(200)
+	gap := (100 * sim.Gbps).ByteTime(len(data) + 24)
+	step = func() {
+		src.Send(data)
+		sched.Run(sched.Now() + 10*gap)
+	}
+	// Warm the host tx pool, link flight pool, switch packet pool, and
+	// every ring buffer past its steady-state size.
+	for i := 0; i < 300; i++ {
+		step()
+	}
+	return step, &dst.RxPackets
+}
+
+// BenchmarkNetsimDeliver measures the full frame delivery path — host NIC
+// serialization, link flight, switch rx/pipeline/tx, second link, host
+// receive — in steady state (0 allocs/op once the pools are warm).
+func BenchmarkNetsimDeliver(b *testing.B) {
+	step, rx := deliverRig(b)
+	before := *rx
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+	b.StopTimer()
+	if *rx == before {
+		b.Fatal("nothing delivered")
+	}
+}
+
+// TestNetsimDeliverZeroAlloc asserts the steady-state delivery path does
+// not allocate: frame buffers ride pooled flights and pooled packets end
+// to end.
+func TestNetsimDeliverZeroAlloc(t *testing.T) {
+	step, rx := deliverRig(t)
+	before := *rx
+	if avg := testing.AllocsPerRun(300, step); avg != 0 {
+		t.Errorf("delivery hot path allocates %v per frame, want 0", avg)
+	}
+	if *rx == before {
+		t.Fatal("nothing delivered during the measurement")
+	}
+}

@@ -46,9 +46,11 @@ type Deliverable struct {
 
 // Impairment decides the fate of each frame entering a link: it returns
 // the copies to deliver (nil or empty means the frame is dropped). The
-// data slice passed in is a private copy of the sender's frame, so an
-// impairment may mutate it freely without aliasing a buffer the sender
-// retains.
+// data slice passed in is private to the call — no sender or tap aliases
+// it, so an impairment may mutate it freely — but it is only valid until
+// the impairment returns plus the propagation of the copies it returned
+// (the link recycles the buffer for the next frame; propagation makes its
+// own copies). An impairment must not retain the slice across calls.
 type Impairment func(data []byte) []Deliverable
 
 // DirCounters are one direction's frame counters on a link (direction 0
@@ -85,12 +87,49 @@ func (c *DirCounters) InFlight() uint64 {
 	return c.Propagated - c.Delivered - c.LostInFlight
 }
 
-// mailEntry is a frame queued for cross-domain delivery at the next
-// partition barrier.
-type mailEntry struct {
-	at   sim.Time
-	seq  uint64
-	data []byte
+// flight is one frame copy propagating along a non-cross link: a pooled
+// sim.Runner carrying a private copy of the bytes, scheduled on the
+// destination's wire band. Pooling flights (and their buffers) removes
+// the per-frame closure and frame-copy allocations from the delivery hot
+// path. Non-cross means one scheduler drives both sides, so the free
+// list is single-threaded.
+type flight struct {
+	n   *Network
+	l   *Link
+	dir int
+	buf []byte
+}
+
+// Run implements sim.Runner: complete the arrival, then recycle. arrive's
+// consumers (Switch.Inject, Host OnRecv) copy or consume the bytes before
+// returning, so the buffer is free for reuse immediately after.
+func (f *flight) Run() {
+	f.n.arrive(f.l, f.dir, f.buf)
+	f.l.flightFree = append(f.l.flightFree, f)
+}
+
+// mailFlight is a frame queued for cross-domain delivery at the next
+// partition barrier: the mailbox entry and the wire-band Runner in one
+// pooled object. Ownership hands off in phases, which is what makes the
+// recycling race-free without locks: the sending domain takes a flight
+// from mailFree and fills mail during a window; the barrier (single-
+// threaded) moves mail onto the receiver's wire band; the receiving
+// domain runs it and parks it on mailSpent during a later window; a
+// subsequent barrier recycles mailSpent back to mailFree. No two domains
+// ever touch the same list during the same window.
+type mailFlight struct {
+	n   *Network
+	l   *Link
+	dir int
+	at  sim.Time
+	seq uint64
+	buf []byte
+}
+
+// Run implements sim.Runner in the receiving side's domain.
+func (m *mailFlight) Run() {
+	m.n.arrive(m.l, m.dir, m.buf)
+	m.l.mailSpent[m.dir] = append(m.l.mailSpent[m.dir], m)
 }
 
 // Link is a point-to-point connection between two endpoints. Packet
@@ -120,7 +159,15 @@ type Link struct {
 	// crosses domains). mail holds frames awaiting barrier exchange.
 	sched [2]*sim.Scheduler
 	cross bool
-	mail  [2][]mailEntry
+	mail  [2][]*mailFlight
+	// mailFree is consumed by the sending domain, mailSpent filled by the
+	// receiving domain; the barrier recycles spent→free (see mailFlight).
+	mailFree  [2][]*mailFlight
+	mailSpent [2][]*mailFlight
+	// flightFree pools non-cross in-flight frames (see flight).
+	flightFree []*flight
+	// impairBuf is the reusable private copy handed to the impairment.
+	impairBuf []byte
 }
 
 // Up reports the link state (both endpoint views; between a partitioned
@@ -211,6 +258,25 @@ type Host struct {
 	busy   sim.Time // NIC busy-until for serialization
 	paused bool
 	held   [][]byte
+	txFree []*hostTx
+}
+
+// hostTx is a pooled NIC transmission: the serialization-delay Runner and
+// a private copy of the frame. Pooling it makes Host.Send allocation-free
+// in steady state and decouples the caller's buffer from the in-flight
+// frame (the caller may reuse its slice as soon as Send returns).
+type hostTx struct {
+	h   *Host
+	buf []byte
+}
+
+// Run implements sim.Runner: the NIC finished serializing; put the frame
+// on the link and recycle (deliver copies into link-owned buffers before
+// returning).
+func (t *hostTx) Run() {
+	h := t.h
+	h.net.deliver(h.link, endpoint{host: h}, t.buf)
+	h.txFree = append(h.txFree, t)
 }
 
 // Scheduler returns the scheduler driving this host: its attached
@@ -224,13 +290,14 @@ func (h *Host) Scheduler() *sim.Scheduler {
 
 // Send transmits a frame from the host into the network, honoring NIC
 // serialization at the attached link's rate. Frames sent while the link
-// is down are lost.
+// is down are lost. The frame bytes are copied before Send returns, so
+// the caller may reuse its buffer.
 func (h *Host) Send(data []byte) {
 	if h.link == nil {
 		panic("netsim: host " + h.Name + " is not attached")
 	}
 	if h.paused {
-		h.held = append(h.held, data)
+		h.held = append(h.held, append([]byte(nil), data...))
 		h.HeldFrames++
 		return
 	}
@@ -241,9 +308,16 @@ func (h *Host) Send(data []byte) {
 	}
 	ser := h.rate.ByteTime(len(data) + core.WireOverhead)
 	h.busy = start + ser
-	h.sched.At(h.busy, func() {
-		h.net.deliver(h.link, endpoint{host: h}, data)
-	})
+	var t *hostTx
+	if n := len(h.txFree); n > 0 {
+		t = h.txFree[n-1]
+		h.txFree[n-1] = nil
+		h.txFree = h.txFree[:n-1]
+	} else {
+		t = &hostTx{h: h}
+	}
+	t.buf = append(t.buf[:0], data...)
+	h.sched.AtRunner(h.busy, t)
 }
 
 // Pause stalls the host: subsequent Sends are held (in order) until
@@ -438,8 +512,11 @@ func (n *Network) deliver(l *Link, from endpoint, data []byte) {
 		return
 	}
 	// The impairment gets a private copy: a corruptor that flips bytes
-	// must not alias a buffer the sender (or a tap) still holds.
-	outs := l.impair(append([]byte(nil), data...))
+	// must not alias a buffer the sender (or a tap) still holds. The copy
+	// is lazy — it reuses the link's scratch buffer, valid for the call
+	// (propagate copies again into flight-owned storage).
+	l.impairBuf = append(l.impairBuf[:0], data...)
+	outs := l.impair(l.impairBuf)
 	if len(outs) == 0 {
 		c.Dropped++
 		return
@@ -456,7 +533,8 @@ func (n *Network) deliver(l *Link, from endpoint, data []byte) {
 // scheduled directly on the destination's wire band; cross-domain it is
 // parked in the link mailbox for the next barrier. Either way it fires
 // in (arrival time, directed link id, send order) order — the same order
-// in every partitioning.
+// in every partitioning. The frame bytes are copied into pooled
+// flight-owned storage, so the caller's slice is free after the call.
 func (n *Network) propagate(l *Link, dir int, data []byte, delay sim.Time) {
 	c := &l.dir[dir]
 	c.Propagated++
@@ -464,10 +542,30 @@ func (n *Network) propagate(l *Link, dir int, data []byte, delay sim.Time) {
 	seq := l.wireSeq[dir]
 	l.wireSeq[dir]++
 	if l.cross {
-		l.mail[dir] = append(l.mail[dir], mailEntry{at: at, seq: seq, data: data})
+		var m *mailFlight
+		if k := len(l.mailFree[dir]); k > 0 {
+			m = l.mailFree[dir][k-1]
+			l.mailFree[dir][k-1] = nil
+			l.mailFree[dir] = l.mailFree[dir][:k-1]
+		} else {
+			m = &mailFlight{n: n, l: l, dir: dir}
+		}
+		m.at, m.seq = at, seq
+		m.buf = append(m.buf[:0], data...)
+		l.mail[dir] = append(l.mail[dir], m)
 		return
 	}
-	l.sched[1-dir].AtWire(at, l.wireKey(dir), seq, func() { n.arrive(l, dir, data) })
+	var f *flight
+	if k := len(l.flightFree); k > 0 {
+		f = l.flightFree[k-1]
+		l.flightFree[k-1] = nil
+		l.flightFree = l.flightFree[:k-1]
+	} else {
+		f = &flight{n: n, l: l}
+	}
+	f.dir = dir
+	f.buf = append(f.buf[:0], data...)
+	l.sched[1-dir].AtWireRunner(at, l.wireKey(dir), seq, f)
 }
 
 // wireKey is the first wire-band ordering key: the directed link id.
@@ -495,22 +593,32 @@ func (n *Network) arrive(l *Link, dir int, data []byte) {
 }
 
 // drainMail moves parked cross-domain frames onto their destination
-// domains' wire bands. It runs single-threaded at partition barriers.
+// domains' wire bands. It runs single-threaded at partition barriers —
+// the only phase in which both sides' mail lists may be touched, so this
+// is also where spent flights are recycled back to the senders' free
+// lists.
 func (n *Network) drainMail() {
 	for _, l := range n.links {
 		if !l.cross {
 			continue
 		}
 		for dir := 0; dir < 2; dir++ {
+			if spent := l.mailSpent[dir]; len(spent) > 0 {
+				l.mailFree[dir] = append(l.mailFree[dir], spent...)
+				for i := range spent {
+					spent[i] = nil
+				}
+				l.mailSpent[dir] = spent[:0]
+			}
 			box := l.mail[dir]
 			if len(box) == 0 {
 				continue
 			}
 			dst := l.sched[1-dir]
 			key := l.wireKey(dir)
-			for _, m := range box {
-				m := m
-				dst.AtWire(m.at, key, m.seq, func() { n.arrive(l, dir, m.data) })
+			for i, m := range box {
+				dst.AtWireRunner(m.at, key, m.seq, m)
+				box[i] = nil
 			}
 			l.mail[dir] = box[:0]
 		}

@@ -25,6 +25,13 @@ type Packet struct {
 
 	// Recirc counts how many times the packet has been recirculated.
 	Recirc int
+
+	// pool, gen and freed implement the recycling arena (pool.go). A
+	// packet built with a plain literal has pool == nil and Release is a
+	// no-op, so pooled and unpooled packets mix freely.
+	pool  *Pool
+	gen   uint32
+	freed bool
 }
 
 // Len returns the frame length in bytes (0 for empty metadata carriers).
@@ -35,10 +42,12 @@ func (p *Packet) Len() int {
 	return len(p.Data)
 }
 
-// Clone returns a deep copy of the packet.
+// Clone returns an unpooled deep copy of the packet. For a recycled copy
+// use Pool.Clone.
 func (p *Packet) Clone() *Packet {
 	q := *p
 	q.Data = append([]byte(nil), p.Data...)
+	q.pool, q.gen, q.freed = nil, 0, false
 	return &q
 }
 
@@ -73,6 +82,31 @@ type FrameSpec struct {
 // spec. Payload bytes are zero. The result length is max(TotalLen,
 // minimum needed, MinFrameLen).
 func BuildFrame(spec FrameSpec) []byte {
+	return AppendFrame(nil, spec)
+}
+
+// grow extends buf by n zeroed bytes, reusing its capacity when possible,
+// and returns the extended slice plus the offset of the new region.
+func grow(buf []byte, n int) ([]byte, int) {
+	off := len(buf)
+	need := off + n
+	if cap(buf) >= need {
+		buf = buf[:need]
+		clear(buf[off:])
+	} else {
+		nb := make([]byte, need)
+		copy(nb, buf)
+		buf = nb
+	}
+	return buf, off
+}
+
+// AppendFrame serializes the frame described by spec onto buf (reusing
+// buf's spare capacity when it suffices) and returns the extended slice.
+// Callers that recycle a scratch buffer get allocation-free frame
+// generation: AppendFrame(scratch[:0], spec). Identical bytes to
+// BuildFrame.
+func AppendFrame(dst []byte, spec FrameSpec) []byte {
 	proto := spec.Flow.Proto
 	if proto == 0 {
 		proto = ProtoUDP
@@ -97,7 +131,8 @@ func BuildFrame(spec FrameSpec) []byte {
 	if ttl == 0 {
 		ttl = 64
 	}
-	buf := make([]byte, total)
+	dst, base := grow(dst, total)
+	buf := dst[base:]
 
 	ethType := EtherTypeIPv4
 	if spec.VLAN != 0 {
@@ -137,13 +172,21 @@ func BuildFrame(spec FrameSpec) []byte {
 		}
 		u.SerializeTo(buf[off:])
 	}
-	return buf
+	return dst
 }
 
 // BuildControlFrame serializes an Ethernet frame whose payload is one of
 // the custom event-protocol layers (Probe, Echo, Report) or an ARP packet.
 // The EtherType is chosen from the layer's type.
 func BuildControlFrame(dst, src MAC, layer SerializableLayer) []byte {
+	return AppendControlFrame(nil, dst, src, layer)
+}
+
+// AppendControlFrame is BuildControlFrame onto a caller-supplied buffer:
+// it serializes the control frame into buf's spare capacity when it
+// suffices and returns the extended slice. Identical bytes to
+// BuildControlFrame.
+func AppendControlFrame(dstBuf []byte, dst, src MAC, layer SerializableLayer) []byte {
 	var et EtherType
 	switch layer.(type) {
 	case *Probe:
@@ -161,9 +204,10 @@ func BuildControlFrame(dst, src MAC, layer SerializableLayer) []byte {
 	if total < MinFrameLen {
 		total = MinFrameLen
 	}
-	buf := make([]byte, total)
+	dstBuf, base := grow(dstBuf, total)
+	buf := dstBuf[base:]
 	eth := Ethernet{Dst: dst, Src: src, Type: et}
 	off := eth.SerializeTo(buf)
 	layer.SerializeTo(buf[off:])
-	return buf
+	return dstBuf
 }

@@ -1,0 +1,121 @@
+package packet
+
+// Pool is a DPDK-mempool-style recycling arena for Packets and their frame
+// buffers. A Get/GetCopy hands out a packet whose Data slice reuses the
+// capacity left behind by an earlier Release, so a steady-state
+// rx→pipeline→tx loop performs zero heap allocations once the free list
+// and the per-packet buffers have warmed up.
+//
+// Ownership rules (documented in DESIGN.md §11):
+//
+//   - A packet obtained from a Pool is owned by exactly one holder at a
+//     time. Whoever drops the last reference calls Release; releasing
+//     twice panics (the freed flag catches the first offender rather than
+//     silently corrupting a later holder).
+//   - Release bumps the packet's generation counter, so a Ref captured
+//     before the release observes Valid() == false afterwards even though
+//     the *Packet itself is recycled. Refs are a debugging/assertion aid:
+//     the hot path never needs them.
+//   - Data buffers keep their capacity across recycling (they only grow),
+//     which is what makes the steady state allocation-free.
+//
+// A Pool is deliberately not safe for concurrent use: the simulator gives
+// each switch its own pool and each partition domain runs single-threaded,
+// so no locks are needed and determinism is preserved.
+type Pool struct {
+	free []*Packet
+
+	// News counts packets allocated fresh; Reuses counts free-list hits.
+	News, Reuses uint64
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a zero-valued packet owned by the caller. Data is empty but
+// retains any recycled capacity.
+func (pl *Pool) Get() *Packet {
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		p.Data = p.Data[:0]
+		p.InPort = 0
+		p.Empty = false
+		p.Gen = false
+		p.Recirc = 0
+		p.freed = false
+		pl.Reuses++
+		return p
+	}
+	pl.News++
+	return &Packet{pool: pl}
+}
+
+// GetCopy returns a pooled packet carrying a private copy of data, arrived
+// on inPort. The caller's slice is not retained.
+func (pl *Pool) GetCopy(data []byte, inPort int) *Packet {
+	p := pl.Get()
+	p.Data = append(p.Data, data...)
+	p.InPort = inPort
+	return p
+}
+
+// Clone returns a pooled deep copy of src (which may itself be pooled or
+// not).
+func (pl *Pool) Clone(src *Packet) *Packet {
+	p := pl.Get()
+	p.Data = append(p.Data, src.Data...)
+	p.InPort = src.InPort
+	p.Empty = src.Empty
+	p.Gen = src.Gen
+	p.Recirc = src.Recirc
+	return p
+}
+
+// Release returns the packet to its pool. It is a no-op for unpooled
+// packets (pool == nil), so callers can release unconditionally. Releasing
+// a pooled packet twice panics.
+func (p *Packet) Release() {
+	pl := p.pool
+	if pl == nil {
+		return
+	}
+	if p.freed {
+		panic("packet: double Release")
+	}
+	p.freed = true
+	p.gen++
+	pl.free = append(pl.free, p)
+}
+
+// Pooled reports whether the packet came from a Pool.
+func (p *Packet) Pooled() bool { return p.pool != nil }
+
+// Generation returns the packet's recycling generation (0 for unpooled
+// packets; bumped on every Release).
+func (p *Packet) Generation() uint32 { return p.gen }
+
+// Ref is a generation-checked weak reference to a pooled packet. It stays
+// Valid only until the packet is released; after recycling, the generation
+// mismatch exposes the stale reference instead of silently aliasing the
+// next tenant's bytes.
+type Ref struct {
+	p   *Packet
+	gen uint32
+}
+
+// NewRef captures a reference to p at its current generation.
+func (p *Packet) NewRef() Ref { return Ref{p: p, gen: p.gen} }
+
+// Valid reports whether the referenced packet is still live in the same
+// generation as when the Ref was taken.
+func (r Ref) Valid() bool { return r.p != nil && !r.p.freed && r.p.gen == r.gen }
+
+// Packet returns the referenced packet, or nil if the reference is stale.
+func (r Ref) Packet() *Packet {
+	if !r.Valid() {
+		return nil
+	}
+	return r.p
+}

@@ -218,6 +218,22 @@ func (r *SharedRegister) EndCycle() {
 	}
 }
 
+// Cycle returns the pipeline cycle the register's memories were last
+// ticked to. During a drain fast-forward the register's cycle runs ahead
+// of the scheduler clock; telemetry uses the difference to reconstruct
+// virtual drain timestamps.
+func (r *SharedRegister) Cycle() uint64 { return r.mainArr().Cycle() }
+
+// DrainN fast-forwards the register through up to max drain-only cycles
+// (see state.Aggregated.DrainN) and returns how many it consumed. A
+// multi-ported register never defers, so it consumes none.
+func (r *SharedRegister) DrainN(max uint64) uint64 {
+	if r.agg != nil {
+		return r.agg.DrainN(max)
+	}
+	return 0
+}
+
 // Backlog returns the number of register entries with pending undrained
 // deltas (always zero in multiport mode).
 func (r *SharedRegister) Backlog() int {

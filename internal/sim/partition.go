@@ -78,24 +78,36 @@ func (p *Partition) barrier() {
 	}
 }
 
-// parallelRun advances every domain concurrently: strictly before edge
-// when incl is false, through edge (clock settling at edge) when true.
-func (p *Partition) parallelRun(edge Time, incl bool) uint64 {
-	var fired atomic.Uint64
-	var wg sync.WaitGroup
-	for _, s := range p.scheds {
-		wg.Add(1)
-		go func(s *Scheduler) {
-			defer wg.Done()
-			if incl {
-				fired.Add(s.Run(edge))
-			} else {
-				fired.Add(s.RunBefore(edge))
+// windowCmd tells a domain worker to advance to edge: strictly before it
+// when incl is false, through it (clock settling at edge) when true.
+type windowCmd struct {
+	edge Time
+	incl bool
+}
+
+// workers spawns one persistent goroutine per domain for the duration of a
+// Run call. A run executes thousands of conservative windows; spawning a
+// goroutine per domain per window (the previous scheme) allocated a stack
+// and scheduler slot each time, dominating the malloc profile of
+// partitioned runs. The workers block on their command channel between
+// windows and exit when it closes.
+func (p *Partition) workers(fired *atomic.Uint64, winWG *sync.WaitGroup) []chan windowCmd {
+	cmds := make([]chan windowCmd, len(p.scheds))
+	for i, s := range p.scheds {
+		ch := make(chan windowCmd, 1)
+		cmds[i] = ch
+		go func(s *Scheduler, ch chan windowCmd) {
+			for c := range ch {
+				if c.incl {
+					fired.Add(s.Run(c.edge))
+				} else {
+					fired.Add(s.RunBefore(c.edge))
+				}
+				winWG.Done()
 			}
-		}(s)
+		}(s, ch)
 	}
-	wg.Wait()
-	return fired.Load()
+	return cmds
 }
 
 // Run advances all domains to until, leaving every domain clock at until
@@ -122,7 +134,24 @@ func (p *Partition) Run(until Time) uint64 {
 	if p.lookahead <= 0 {
 		panic("sim: partition with multiple domains needs a positive lookahead")
 	}
-	var total uint64
+	var fired atomic.Uint64
+	var winWG sync.WaitGroup
+	cmds := p.workers(&fired, &winWG)
+	defer func() {
+		for _, ch := range cmds {
+			close(ch)
+		}
+	}()
+	// runWindow broadcasts one window to every worker and waits for all of
+	// them; the WaitGroup is re-armed only after Wait returns, so reuse
+	// across windows is race-free.
+	runWindow := func(edge Time, incl bool) {
+		winWG.Add(len(cmds))
+		for _, ch := range cmds {
+			ch <- windowCmd{edge, incl}
+		}
+		winWG.Wait()
+	}
 	for {
 		p.barrier()
 		s := Forever
@@ -139,12 +168,12 @@ func (p *Partition) Run(until Time) uint64 {
 			edge = s + p.lookahead
 		}
 		p.windows++
-		total += p.parallelRun(edge, false)
+		runWindow(edge, false)
 	}
 	p.windows++
-	total += p.parallelRun(until, true)
+	runWindow(until, true)
 	p.barrier()
-	return total
+	return fired.Load()
 }
 
 // Windows returns the number of conservative windows executed across all

@@ -267,6 +267,63 @@ func TestAtWirePastPanics(t *testing.T) {
 	s.AtWire(0, 0, 0, func() {})
 }
 
+// wireRunner records its firing order for TestAtWireRunnerOrdering.
+type wireRunner struct {
+	tag string
+	got *[]string
+}
+
+func (r *wireRunner) Run() { *r.got = append(*r.got, r.tag) }
+
+// TestAtWireRunnerOrdering pins the pooled wire variant to the same
+// contract as AtWire, including interleaving between Runner-backed and
+// closure-backed wire events at one instant.
+func TestAtWireRunnerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var got []string
+	s.At(Microsecond, func() { got = append(got, "heap") })
+	s.AtWireRunner(Microsecond, 2, 0, &wireRunner{"runner-k1=2", &got})
+	s.AtWire(Microsecond, 1, 1, func() { got = append(got, "fn-k2=1") })
+	s.AtWireRunner(Microsecond, 1, 0, &wireRunner{"runner-k2=0", &got})
+	s.Run(Microsecond)
+	want := []string{"runner-k2=0", "fn-k2=1", "runner-k1=2", "heap"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// TestRunBound verifies the active run horizon is visible to callbacks —
+// inclusive under Run, strict under RunBefore — and resets to Forever
+// outside any run. The drain fast-forward uses this to stop batching at
+// exactly the cycle the slow path's lane would have stopped re-arming.
+func TestRunBound(t *testing.T) {
+	s := NewScheduler()
+	if limit, strict := s.RunBound(); limit != Forever || strict {
+		t.Fatalf("idle RunBound = (%v, %v), want (Forever, false)", limit, strict)
+	}
+	var checked int
+	s.At(Microsecond, func() {
+		if limit, strict := s.RunBound(); limit != 3*Microsecond || strict {
+			t.Errorf("inside Run: RunBound = (%v, %v), want (3us, false)", limit, strict)
+		}
+		checked++
+	})
+	s.Run(3 * Microsecond)
+	s.At(4*Microsecond, func() {
+		if limit, strict := s.RunBound(); limit != 5*Microsecond || !strict {
+			t.Errorf("inside RunBefore: RunBound = (%v, %v), want (5us, true)", limit, strict)
+		}
+		checked++
+	})
+	s.RunBefore(5 * Microsecond)
+	if limit, strict := s.RunBound(); limit != Forever || strict {
+		t.Errorf("after runs: RunBound = (%v, %v), want (Forever, false)", limit, strict)
+	}
+	if checked != 2 {
+		t.Fatalf("checked %d callbacks, want 2", checked)
+	}
+}
+
 // TestRunBeforeStrict verifies RunBefore excludes the limit and leaves
 // the clock at the last fired event rather than advancing it.
 func TestRunBeforeStrict(t *testing.T) {

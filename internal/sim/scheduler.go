@@ -57,6 +57,7 @@ type wireEvent struct {
 	at     Time
 	k1, k2 uint64
 	fn     Action
+	runner Runner
 }
 
 // wireHeap is a binary min-heap of wireEvents ordered by (at, k1, k2),
@@ -155,11 +156,20 @@ type Scheduler struct {
 	free   []*schedEvent
 	fired  uint64
 	halted bool
+
+	// runLimit/runStrict record the horizon of the Run/RunBefore call in
+	// progress (Forever/false outside any run). Event callbacks that can
+	// batch future work — the switch's drain fast-forward — consult
+	// RunBound so they never compute past the instant the current run
+	// would have stopped at, which keeps partitioned windowed execution
+	// byte-identical to single-threaded runs.
+	runLimit  Time
+	runStrict bool
 }
 
 // NewScheduler returns a Scheduler with the clock at time zero.
 func NewScheduler() *Scheduler {
-	return &Scheduler{}
+	return &Scheduler{runLimit: Forever}
 }
 
 // Now returns the current virtual time.
@@ -255,6 +265,16 @@ func (s *Scheduler) AtWire(at Time, k1, k2 uint64, fn Action) {
 		panic("sim: wire event scheduled in the past")
 	}
 	s.wire.push(wireEvent{at: at, k1: k1, k2: k2, fn: fn})
+}
+
+// AtWireRunner is the allocation-free variant of AtWire for pooled
+// callback objects, mirroring AtRunner/At. Ordering semantics are
+// identical.
+func (s *Scheduler) AtWireRunner(at Time, k1, k2 uint64, r Runner) {
+	if at < s.now {
+		panic("sim: wire event scheduled in the past")
+	}
+	s.wire.push(wireEvent{at: at, k1: k1, k2: k2, runner: r})
 }
 
 // Every schedules fn to run periodically with the given period, starting
@@ -392,7 +412,11 @@ func (s *Scheduler) Step() bool {
 		w := s.wire.pop()
 		s.now = w.at
 		s.fired++
-		w.fn()
+		if w.runner != nil {
+			w.runner.Run()
+		} else {
+			w.fn()
+		}
 		return true
 	}
 	switch {
@@ -442,6 +466,7 @@ func (s *Scheduler) NextAt() (Time, bool) {
 func (s *Scheduler) Run(until Time) uint64 {
 	start := s.fired
 	s.halted = false
+	s.runLimit, s.runStrict = until, false
 	for !s.halted {
 		at, ok := s.NextAt()
 		if !ok || at > until {
@@ -449,6 +474,7 @@ func (s *Scheduler) Run(until Time) uint64 {
 		}
 		s.Step()
 	}
+	s.runLimit, s.runStrict = Forever, false
 	if s.now < until {
 		s.now = until
 	}
@@ -464,6 +490,7 @@ func (s *Scheduler) Run(until Time) uint64 {
 func (s *Scheduler) RunBefore(limit Time) uint64 {
 	start := s.fired
 	s.halted = false
+	s.runLimit, s.runStrict = limit, true
 	for !s.halted {
 		at, ok := s.NextAt()
 		if !ok || at >= limit {
@@ -471,7 +498,15 @@ func (s *Scheduler) RunBefore(limit Time) uint64 {
 		}
 		s.Step()
 	}
+	s.runLimit, s.runStrict = Forever, false
 	return s.fired - start
+}
+
+// RunBound returns the horizon of the run in progress: the limit time and
+// whether it is strict (RunBefore — events at the limit must not fire) or
+// inclusive (Run). Outside any run it returns (Forever, false).
+func (s *Scheduler) RunBound() (limit Time, strict bool) {
+	return s.runLimit, s.runStrict
 }
 
 // RunAll executes events until none remain. It returns the number of

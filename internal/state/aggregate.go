@@ -76,9 +76,17 @@ func (b *bank) pop() (uint32, bool) {
 	}
 	i := b.dirty[b.head]
 	b.head++
-	// Compact occasionally so the slice doesn't grow without bound.
+	// Compact occasionally so the slice doesn't grow without bound. When a
+	// past burst left the backing array far larger than the live tail,
+	// reallocate at the live size instead of shifting in place — otherwise
+	// a single storm pins its peak-sized slice for the rest of the run.
 	if b.head > 1024 && b.head*2 > len(b.dirty) {
-		b.dirty = append(b.dirty[:0], b.dirty[b.head:]...)
+		live := b.dirty[b.head:]
+		if cap(b.dirty) > 4096 && cap(b.dirty) > 4*len(live) {
+			b.dirty = append(make([]uint32, 0, 2*len(live)), live...)
+		} else {
+			b.dirty = append(b.dirty[:0], live...)
+		}
 		b.head = 0
 	}
 	return i, true
@@ -169,6 +177,33 @@ func (ag *Aggregated) EndCycle() int {
 		n++
 	}
 	return n
+}
+
+// DrainN fast-forwards the aggregation machinery through up to max
+// drain-only pipeline cycles in one call, returning how many cycles it
+// consumed. Each consumed cycle replays exactly what a real cycle with no
+// packet or event work would do — Tick main+banks to the next cycle, then
+// the EndCycle drain loop — so the round-robin drain order, per-delta lag
+// values, drain-hook callbacks, and all metrics are identical to running
+// the cycles one by one. It stops early when the backlog empties (further
+// idle cycles would be pure no-ops), which mirrors the switch ceasing to
+// re-arm its cycle lane once no drain work remains.
+func (ag *Aggregated) DrainN(max uint64) uint64 {
+	var used uint64
+	for used < max && ag.Backlog() > 0 {
+		c := ag.main.cycle + 1
+		ag.main.Tick(c)
+		for _, b := range ag.banks {
+			b.arr.Tick(c)
+		}
+		for ag.main.Free() > 0 {
+			if !ag.drainOne() {
+				break
+			}
+		}
+		used++
+	}
+	return used
 }
 
 // drainOne pops one bank's oldest dirty index and folds its pending delta

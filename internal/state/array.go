@@ -66,6 +66,9 @@ func (a *Array) Tick(cycle uint64) {
 // Free returns the number of unused ports remaining this cycle.
 func (a *Array) Free() int { return a.ports - a.used }
 
+// Cycle returns the clock cycle the array was last ticked to.
+func (a *Array) Cycle() uint64 { return a.cycle }
+
 // TryRead reads entry i, consuming one port. ok is false (and the value
 // zero) when the port budget for this cycle is exhausted.
 func (a *Array) TryRead(i uint32) (v uint64, ok bool) {

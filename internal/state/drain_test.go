@@ -1,0 +1,154 @@
+package state
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// drainRec captures one drain-hook observation.
+type drainRec struct {
+	idx uint32
+	lag uint64
+}
+
+// fig3Workload replays the fig3-style random update phase against ag:
+// enqueue/dequeue deltas plus packet reads on a fraction of cycles, driven
+// cycle by cycle. It leaves ag with a drain backlog.
+func fig3Workload(ag *Aggregated, rng *sim.RNG, cycles uint64, size int) {
+	for c := uint64(1); c <= cycles; c++ {
+		ag.Tick(c)
+		if rng.Float64() < 0.45 {
+			ag.Defer(0, uint32(rng.Intn(size)), +1000)
+		}
+		if rng.Float64() < 0.45 {
+			ag.Defer(1, uint32(rng.Intn(size)), -1000)
+		}
+		// Packets occupy the main port every cycle of this phase, so no
+		// drains happen: the backlog is entirely pending when it ends.
+		ag.Main().TryRead(uint32(rng.Intn(size)))
+		ag.EndCycle()
+	}
+}
+
+// TestDrainNMatchesEndCycleLoop is the state-level differential for the
+// drain fast-forward: after an identical fig3-style loaded phase, draining
+// the backlog via DrainN (in uneven batches, exercising partial-batch
+// resume) must replay exactly what per-cycle Tick+EndCycle does — same
+// drain order, same per-delta lags, same metrics, same final register
+// contents, same cycle counter.
+func TestDrainNMatchesEndCycleLoop(t *testing.T) {
+	const size = 64
+	const loaded = 5000
+
+	run := func(fast bool) (recs []drainRec, ag *Aggregated, cyclesUsed uint64) {
+		ag = NewAggregated("q", size, 1, "enq", "deq")
+		ag.SetDrainHook(func(idx uint32, lag uint64) {
+			recs = append(recs, drainRec{idx, lag})
+		})
+		fig3Workload(ag, sim.NewRNG(42), loaded, size)
+		if ag.Backlog() == 0 {
+			t.Fatal("loaded phase left no backlog; test exercises nothing")
+		}
+		if fast {
+			// Uneven batch sizes: a full drain rarely lands on a batch
+			// boundary, so this also covers DrainN stopping early.
+			for _, batch := range []uint64{1, 7, 3, 1 << 60} {
+				cyclesUsed += ag.DrainN(batch)
+			}
+		} else {
+			for ag.Backlog() > 0 {
+				ag.Tick(ag.Main().Cycle() + 1)
+				ag.EndCycle()
+				cyclesUsed++
+			}
+		}
+		return recs, ag, cyclesUsed
+	}
+
+	slowRecs, slowAg, slowCycles := run(false)
+	fastRecs, fastAg, fastCycles := run(true)
+
+	if len(slowRecs) != len(fastRecs) {
+		t.Fatalf("drain count differs: slow %d, fast %d", len(slowRecs), len(fastRecs))
+	}
+	for i := range slowRecs {
+		if slowRecs[i] != fastRecs[i] {
+			t.Fatalf("drain %d differs: slow %+v, fast %+v", i, slowRecs[i], fastRecs[i])
+		}
+	}
+	if slowCycles != fastCycles {
+		t.Errorf("cycles consumed differ: slow %d, fast %d", slowCycles, fastCycles)
+	}
+	if slowAg.Main().Cycle() != fastAg.Main().Cycle() {
+		t.Errorf("final cycle differs: slow %d, fast %d", slowAg.Main().Cycle(), fastAg.Main().Cycle())
+	}
+	if sm, fm := slowAg.Metrics(), fastAg.Metrics(); sm != fm {
+		t.Errorf("metrics differ:\nslow %v\nfast %v", sm, fm)
+	}
+	for i := uint32(0); i < size; i++ {
+		if s, f := slowAg.Main().Peek(i), fastAg.Main().Peek(i); s != f {
+			t.Errorf("main[%d] differs: slow %d, fast %d", i, s, f)
+		}
+		if s, f := slowAg.True(i), fastAg.True(i); s != f {
+			t.Errorf("true[%d] differs: slow %d, fast %d", i, s, f)
+		}
+	}
+	if fastAg.Backlog() != 0 {
+		t.Errorf("fast path left backlog %d", fastAg.Backlog())
+	}
+}
+
+// TestDrainNStopsWhenEmpty pins the early-exit contract: cycles beyond the
+// backlog are not consumed (the switch must not advance its cycle counter
+// past the real drain work).
+func TestDrainNStopsWhenEmpty(t *testing.T) {
+	ag := NewAggregated("q", 8, 1, "e")
+	ag.Tick(1)
+	ag.Defer(0, 3, 10)
+	ag.Defer(0, 5, -4) // second defer same cycle: bank port exhausted? no — size-8 bank, 1 port
+	ag.EndCycle()      // main port free: drains one (only one per bank per cycle)
+	used := ag.DrainN(100)
+	if want := uint64(ag.Backlog()); want != 0 {
+		t.Fatalf("backlog %d after DrainN", want)
+	}
+	if used > 2 {
+		t.Errorf("DrainN used %d cycles for at most 2 pending deltas", used)
+	}
+	if ag.DrainN(100) != 0 {
+		t.Error("DrainN consumed cycles with an empty backlog")
+	}
+}
+
+// TestBankCompactionShrinksCapacity is the satellite fix's regression
+// test: after a storm fills a bank's dirty FIFO far beyond its steady
+// state, draining it must also release the storm-sized backing slice, not
+// just compact the head in place.
+func TestBankCompactionShrinksCapacity(t *testing.T) {
+	const size = 1 << 14
+	ag := NewAggregated("q", size, 1, "e")
+	// Storm: one defer per cycle (the bank's port budget) to distinct
+	// indices, growing the dirty FIFO to `size` entries.
+	c := uint64(0)
+	for i := 0; i < size; i++ {
+		c++
+		ag.Tick(c)
+		ag.Defer(0, uint32(i), 1)
+		ag.Main().TryRead(0) // keep the main port busy: no drains yet
+		ag.EndCycle()
+	}
+	b := ag.banks[0]
+	if got := cap(b.dirty); got < size {
+		t.Fatalf("storm did not grow the FIFO: cap %d < %d", got, size)
+	}
+	peak := cap(b.dirty)
+	if used := ag.DrainN(1 << 62); used == 0 {
+		t.Fatal("nothing drained")
+	}
+	if ag.Backlog() != 0 {
+		t.Fatalf("backlog %d after full drain", ag.Backlog())
+	}
+	if got := cap(b.dirty); got >= peak/2 {
+		t.Errorf("dirty FIFO capacity %d retained after drain (peak %d); compaction must shrink it", got, peak)
+	}
+}

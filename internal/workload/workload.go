@@ -18,7 +18,10 @@ import (
 )
 
 // Sink consumes generated frames, timed by the scheduler. core.Switch's
-// Inject method (curried with a port) is the usual sink.
+// Inject method (curried with a port) is the usual sink. The frame slice
+// is only valid for the duration of the call — generators reuse a scratch
+// buffer — so a sink that defers consumption must copy (Switch.Inject and
+// Host.Send both copy before returning).
 type Sink func(data []byte)
 
 // SizeDist picks frame sizes.
@@ -126,6 +129,15 @@ type Gen struct {
 	SentPackets uint64
 	SentBytes   uint64
 	stopped     bool
+
+	// buf is the scratch frame reused across emissions (see Sink).
+	buf []byte
+}
+
+// frame serializes spec into the generator's scratch buffer.
+func (g *Gen) frame(spec packet.FrameSpec) []byte {
+	g.buf = packet.AppendFrame(g.buf[:0], spec)
+	return g.buf
 }
 
 // NewGen builds a generator.
@@ -164,7 +176,7 @@ func (g *Gen) StartCBR(cfg CBRConfig) {
 			return
 		}
 		n := cfg.Size.Next(g.rng)
-		data := packet.BuildFrame(packet.FrameSpec{Flow: cfg.Flow, TotalLen: n})
+		data := g.frame(packet.FrameSpec{Flow: cfg.Flow, TotalLen: n})
 		g.emit(data)
 		gap := cfg.Rate.ByteTime(len(data) + 24) // wire footprint spacing
 		g.sched.After(gap, step)
@@ -194,7 +206,7 @@ func (g *Gen) StartPoisson(cfg PoissonConfig) {
 		}
 		fl := cfg.Flows.Flow(cfg.Flows.Pick(g.rng))
 		n := cfg.Size.Next(g.rng)
-		g.emit(packet.BuildFrame(packet.FrameSpec{Flow: fl, TotalLen: n}))
+		g.emit(g.frame(packet.FrameSpec{Flow: fl, TotalLen: n}))
 		g.sched.After(g.rng.ExpTime(cfg.MeanGap), step)
 	}
 	g.sched.After(g.rng.ExpTime(cfg.MeanGap), step)
@@ -223,7 +235,7 @@ func (g *Gen) ScheduleBurst(cfg BurstConfig) {
 			i := i
 			g.sched.After(sim.Time(i)*cfg.Spacing, func() {
 				n := cfg.Size.Next(g.rng)
-				g.emit(packet.BuildFrame(packet.FrameSpec{Flow: cfg.Flow, TotalLen: n}))
+				g.emit(g.frame(packet.FrameSpec{Flow: cfg.Flow, TotalLen: n}))
 			})
 		}
 	})
@@ -259,7 +271,7 @@ func (g *Gen) StartSaturate(cfg SaturateConfig) {
 		fl := cfg.Flow
 		fl.SrcPort = uint16(1024 + seq%16) // a few sub-flows for hashing
 		seq++
-		g.emit(packet.BuildFrame(packet.FrameSpec{Flow: fl, TotalLen: cfg.Size}))
+		g.emit(g.frame(packet.FrameSpec{Flow: fl, TotalLen: cfg.Size}))
 		g.sched.After(gap, step)
 	}
 	step()
