@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench evbench bench-json bench-smoke bench-diff telemetry-smoke
+.PHONY: check vet build test race fuzz bench evbench bench-json bench-smoke bench-diff check-backends telemetry-smoke
 
 # The gate everything must pass: static checks, a full build, the test
 # suite, the concurrency-sensitive packages (parallel experiment
 # harness, partitioned engine, fault injection) under the race detector,
-# and an end-to-end telemetry export check.
-check: vet build test race telemetry-smoke
+# an end-to-end telemetry export check, the µP4 backend differential
+# check, and a perf regression diff against the committed baseline.
+check: vet build test race telemetry-smoke check-backends bench-diff
 
 vet:
 	$(GO) vet ./...
@@ -18,15 +19,17 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/bench -run 'TestParallel|TestResilience|TestDomain|TestScale|TestTelemetry|TestFastForward'
+	$(GO) test -race ./internal/bench -run 'TestParallel|TestResilience|TestDomain|TestScale|TestTelemetry|TestFastForward|TestUP4'
 	$(GO) test -race ./internal/sim -run 'TestPartition|TestAtWire|TestRunBefore'
 	$(GO) test -race ./internal/netsim -run 'TestPartitioned|TestScheduleLinkChange|TestCrossDomain'
 	$(GO) test -race ./internal/faults
 
-# Coverage-guided fuzzing of the fault-schedule parser/validator.
-# Not part of `check` (open-ended); run it before touching the DSL.
+# Coverage-guided fuzzing: the fault-schedule parser/validator and the
+# µP4 compiled-vs-interpreter differential target. Not part of `check`
+# (open-ended); run before touching the DSL or the compilation backend.
 fuzz:
 	$(GO) test -fuzz FuzzParseSchedule -fuzztime 10s ./internal/faults
+	$(GO) test -fuzz FuzzCompiledVsInterp -fuzztime 10s ./internal/p4
 
 # Hot-path micro-benchmarks (scheduler + switch cycle + event queue).
 bench:
@@ -56,6 +59,14 @@ bench-smoke:
 	$(GO) run ./cmd/evbench -domains 1 > /tmp/evbench.d1.txt
 	$(GO) run ./cmd/evbench -domains 2 > /tmp/evbench.d2.txt
 	diff /tmp/evbench.d1.txt /tmp/evbench.d2.txt && echo "bench-smoke: -domains 1 == -domains 2"
+
+# µP4 backend differential check at the experiment level: every table
+# and figure regenerated with compiled closures must be byte-identical
+# to the interpreter oracle (-interp).
+check-backends:
+	$(GO) run ./cmd/evbench > /tmp/evbench.compiled.txt
+	$(GO) run ./cmd/evbench -interp > /tmp/evbench.interp.txt
+	diff /tmp/evbench.compiled.txt /tmp/evbench.interp.txt && echo "check-backends: compiled == interp"
 
 # End-to-end telemetry check: export trace + metrics from an
 # instrumented experiment, schema-validate both with tracecheck, and

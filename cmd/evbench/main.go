@@ -7,6 +7,7 @@
 //	evbench -list                    # list experiment ids
 //	evbench -parallel 8              # 8 worker goroutines per experiment
 //	evbench -domains 4               # split topologies across 4 partition domains
+//	evbench -interp                  # run µP4 programs under the interpreter oracle
 //	evbench -benchjson .             # also write BENCH_<id>.json per experiment
 //	evbench -cpuprofile cpu.pprof    # write a CPU profile
 //	evbench -memprofile mem.pprof    # write an allocation profile
@@ -33,6 +34,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/bench"
+	"repro/internal/p4"
 	"repro/internal/telemetry"
 )
 
@@ -52,6 +54,8 @@ func main() {
 		"write the event-lifecycle trace to `file` (.jsonl = JSON lines, else Chrome JSON); needs -exp")
 	metricsFile := flag.String("metrics", "",
 		"write the telemetry metrics document to `file`; needs -exp")
+	interp := flag.Bool("interp", false,
+		"execute µP4 programs with the interpreter instead of compiled closures (differential oracle)")
 	flag.Parse()
 
 	if *list {
@@ -66,6 +70,7 @@ func main() {
 	}
 	bench.SetParallelism(*par)
 	bench.SetDomains(*domains)
+	p4.ForceInterpret = *interp
 
 	if *traceFile != "" || *metricsFile != "" {
 		if *exp == "" {

@@ -5,9 +5,12 @@
 //	evsim -arch event -load 0.9 -size 576 -ms 10
 //	evsim -arch baseline -overspeed 1.0 -load 1.0
 //	evsim -p4 program.up4 -ms 5
+//	evsim -p4 program.up4 -interp    # interpreter oracle instead of compiled closures
 //
 // With -p4, the given µP4 program is compiled and loaded instead of the
 // built-in port-pairing forwarder (ports are paired 0<->1, 2<->3 there).
+// -interp executes it with the tree-walking interpreter instead of the
+// specialized Go closures; the observable behaviour is identical.
 package main
 
 import (
@@ -35,6 +38,8 @@ func main() {
 	ports := flag.Int("ports", 4, "switch ports")
 	rate := flag.Int64("gbps", 10, "per-port line rate in Gb/s")
 	p4file := flag.String("p4", "", "µP4 program to load (default: built-in forwarder)")
+	interp := flag.Bool("interp", false,
+		"run the -p4 program under the interpreter instead of compiled closures")
 	seed := flag.Uint64("seed", 1, "workload RNG seed")
 	trace := flag.Int("trace", 0, "print the first N pipeline slots")
 	traceFile := flag.String("tracefile", "",
@@ -72,9 +77,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "evsim: compile:", err)
 			os.Exit(1)
 		}
-		inst := compiled.Instantiate(*p4file, p4.Options{})
+		inst := compiled.Instantiate(*p4file, p4.Options{Interpret: *interp})
 		prog = inst.Program()
-		fmt.Printf("loaded %s (controls: %v)\n", *p4file, compiled.Controls())
+		backend := "compiled"
+		if inst.Interpreted() {
+			backend = "interp"
+		}
+		fmt.Printf("loaded %s (controls: %v, backend: %s)\n", *p4file, compiled.Controls(), backend)
 		for _, h := range compiled.Analyze() {
 			level := "note"
 			if h.Fatal {

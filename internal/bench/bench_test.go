@@ -21,7 +21,7 @@ func TestResultFormatting(t *testing.T) {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "fig2", "fig3", "fig4",
 		"microburst", "cmsreset", "staleness", "projects", "hula", "ablations",
-		"tofino", "intfilter", "aqm", "resilience", "netchain", "scale"}
+		"tofino", "intfilter", "aqm", "resilience", "netchain", "scale", "up4"}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {
 			t.Errorf("experiment %q not registered", id)

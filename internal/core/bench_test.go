@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/events"
+	"repro/internal/p4"
 	"repro/internal/packet"
 	"repro/internal/pisa"
 	"repro/internal/sim"
@@ -82,10 +83,12 @@ func BenchmarkSwitchCycle(b *testing.B) {
 	}
 }
 
-// forwardRig builds an event-driven switch with register aggregation and
-// returns a step that forwards one min-size packet end to end, with every
-// pool and ring warmed past its steady-state size.
-func forwardRig(tb testing.TB) (step func(), sw *Switch) {
+// nativeForwardRig builds an event-driven switch with handwritten Go
+// handlers and register aggregation, and returns a step that forwards
+// one min-size packet end to end, with every pool and ring warmed past
+// its steady-state size. It is the program-cost-free floor the µP4
+// backends are measured against.
+func nativeForwardRig(tb testing.TB) (step func(), sw *Switch) {
 	sched := sim.NewScheduler()
 	sw = New(Config{}, EventDriven(), sched)
 	prog := pisa.NewProgram("fwd")
@@ -102,27 +105,156 @@ func forwardRig(tb testing.TB) (step func(), sw *Switch) {
 		occ.Add(ctx, uint32(ctx.Ev.Port), -int64(ctx.Ev.PktLen))
 	})
 	sw.MustLoad(prog)
+	return forwardStep(sched, sw), sw
+}
+
+// forwardProgramSrc is the µP4 program behind BenchmarkSwitchForwardPath:
+// a stateful telemetry-and-forward pipeline with per-flow hashing, two
+// register accesses, an exact table with a parameterized action, a byte
+// counter, and per-event accounting on the enqueue/dequeue/transmit
+// threads — the per-packet work profile of the paper's example programs.
+const forwardProgramSrc = `
+shared_register<bit<32>>(64) occ;
+shared_register<bit<64>>(256) flowbytes;
+shared_register<bit<64>>(64) txbytes;
+counter(8) ports;
+action set_port(p) { forward(p); ports.count(p); }
+action toss() { drop(); }
+table fwd {
+    key = { hdr.ip.dst : exact; }
+    actions = { set_port; toss; }
+    default_action = toss();
+}
+control Ingress {
+    bit<32> h; bit<32> q; bit<64> fb; bit<64> ew; bit<64> score;
+    bit<16> fl; bit<64> dig; bit<64> t; bit<64> u;
+    apply {
+        hash(h, hdr.ip.src, hdr.ip.dst, hdr.udp.sport, hdr.udp.dport, hdr.ip.proto);
+        flowbytes.read(h % 256, fb);
+        occ.read(std.ingress_port ^ 1, q);
+        t = fb >> 3;
+        ew = fb - t;
+        t = std.pkt_len << 5;
+        ew = ew + t;
+        t = ew >> 10;
+        u = fb >> 12;
+        score = max(t, u) + min(q, 4096);
+        score = score + ssub(score, 9000) + (hdr.ip.ttl << 2) + (hdr.ip.len ^ hdr.udp.dport);
+        t = score >> 5;
+        t = t * 3;
+        u = score * 7;
+        score = u + t;
+        score = score % 65536;
+        t = score & 1023;
+        ew = ew + t;
+        t = score >> 8;
+        u = ew >> 9;
+        ew = ew - min(t, u);
+        fl = (hdr.udp.sport ^ hdr.udp.dport) + (h & 0xff);
+        dig = fb << 1;
+        t = ew << 2;
+        dig = dig ^ t;
+        t = q << 3;
+        dig = dig ^ t;
+        t = dig >> 7;
+        u = dig >> 13;
+        dig = dig + t;
+        dig = dig + u;
+        t = dig >> 31;
+        t = dig ^ t;
+        dig = t * 0x9e377;
+        t = dig & 0x3f;
+        fl = fl + t;
+        fl = fl - min(fl, 52);
+        dig = dig ^ (fl * 31) ^ (std.pkt_len * 7);
+        t = dig & 255;
+        score = score + t;
+        u = dig & 127;
+        score = score - ssub(u, 64);
+        flowbytes.write(h % 256, fb + std.pkt_len + (ew & 1));
+        fwd.apply();
+        if (q > 1000000 || score > 64000) { set_tos(3); }
+        if (fl > 65000 && dig % 5 == 4) { set_queue(1); }
+        if (hdr.ip.ttl < 2) { drop(); }
+    }
+}
+control Enqueue {
+    bit<32> d;
+    apply {
+        d = ev.pkt_len + (ev.pkt_len >> 2) - min(ev.queue, 8);
+        occ.add(ev.port, ev.pkt_len + (d >> 31));
+    }
+}
+control Dequeue {
+    bit<32> d;
+    apply {
+        d = ev.pkt_len + (ev.pkt_len >> 3);
+        occ.add(ev.port, 0 - ev.pkt_len - (d >> 31));
+    }
+}
+control Transmitted {
+    apply {
+        txbytes.add(ev.port, ev.pkt_len);
+    }
+}`
+
+// p4ForwardRig is nativeForwardRig's µP4 twin: the same end-to-end
+// forward path with the program supplied as µP4 source and executed by
+// the selected backend.
+func p4ForwardRig(tb testing.TB, interp bool) (step func(), sw *Switch, inst *p4.Instance) {
+	sched := sim.NewScheduler()
+	sw = New(Config{}, EventDriven(), sched)
+	inst = p4.MustCompile(forwardProgramSrc).Instantiate("fwd", p4.Options{Interpret: interp})
+	if err := inst.InstallEntry("fwd", []uint64{uint64(packet.IP4(10, 1, 0, 1))}, nil, 0, "set_port", 1); err != nil {
+		tb.Fatal(err)
+	}
+	if err := inst.InstallEntry("fwd", []uint64{uint64(packet.IP4(10, 0, 0, 1))}, nil, 0, "set_port", 0); err != nil {
+		tb.Fatal(err)
+	}
+	sw.MustLoad(inst.Program())
+	return forwardStep(sched, sw), sw, inst
+}
+
+// forwardStep injects one min-size packet and advances the scheduler one
+// line-rate gap, after warming every pool and ring past steady state.
+func forwardStep(sched *sim.Scheduler, sw *Switch) func() {
 	data := packet.BuildFrame(packet.FrameSpec{Flow: packet.Flow{
 		Src: packet.IP4(10, 0, 0, 1), Dst: packet.IP4(10, 1, 0, 1),
 		SrcPort: 1, DstPort: 2, Proto: packet.ProtoUDP,
 	}})
 	gap := (10 * sim.Gbps).ByteTime(len(data) + WireOverhead)
-	step = func() {
+	step := func() {
 		sw.Inject(0, data)
 		sched.Run(sched.Now() + gap)
 	}
 	for i := 0; i < 300; i++ {
 		step()
 	}
-	return step, sw
+	return step
 }
 
 // BenchmarkSwitchForwardPath measures the steady-state pooled forward
-// path: inject -> rx queue -> pipeline slot -> register aggregation -> TM
-// -> egress -> transmit -> release, one packet per iteration (0
-// allocs/op).
+// path running the compiled µP4 program: inject -> rx queue -> pipeline
+// slot -> register aggregation -> TM -> egress -> transmit -> release,
+// one packet per iteration (0 allocs/op). The Interp variant runs the
+// same program on the AST-interpreter oracle, the Native variant the
+// handwritten-Go floor.
 func BenchmarkSwitchForwardPath(b *testing.B) {
-	step, sw := forwardRig(b)
+	step, sw, _ := p4ForwardRig(b, false)
+	benchForward(b, step, sw)
+}
+
+func BenchmarkSwitchForwardPathInterp(b *testing.B) {
+	step, sw, _ := p4ForwardRig(b, true)
+	benchForward(b, step, sw)
+}
+
+func BenchmarkSwitchForwardPathNative(b *testing.B) {
+	step, sw := nativeForwardRig(b)
+	benchForward(b, step, sw)
+}
+
+func benchForward(b *testing.B, step func(), sw *Switch) {
 	before := sw.Stats().TxPackets
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -136,16 +268,63 @@ func BenchmarkSwitchForwardPath(b *testing.B) {
 }
 
 // TestSwitchForwardZeroAlloc asserts the per-packet forward path performs
-// zero heap allocations in steady state — the pooled-lifecycle regression
+// zero heap allocations in steady state — for the compiled µP4 backend
+// and for handwritten Go handlers — the pooled-lifecycle regression
 // guard next to the per-cycle one below.
 func TestSwitchForwardZeroAlloc(t *testing.T) {
-	step, sw := forwardRig(t)
+	step, sw, _ := p4ForwardRig(t, false)
 	before := sw.Stats().TxPackets
 	if avg := testing.AllocsPerRun(500, step); avg != 0 {
-		t.Errorf("per-packet forward path allocates %v per packet, want 0", avg)
+		t.Errorf("compiled µP4 forward path allocates %v per packet, want 0", avg)
 	}
 	if sw.Stats().TxPackets == before {
 		t.Fatal("nothing forwarded during the measurement")
+	}
+	nstep, nsw := nativeForwardRig(t)
+	nbefore := nsw.Stats().TxPackets
+	if avg := testing.AllocsPerRun(500, nstep); avg != 0 {
+		t.Errorf("native forward path allocates %v per packet, want 0", avg)
+	}
+	if nsw.Stats().TxPackets == nbefore {
+		t.Fatal("nothing forwarded during the native measurement")
+	}
+}
+
+// TestSwitchForwardBackendsIdentical drives the µP4 forward rig for the
+// same packet count under both backends and requires identical switch
+// stats and register/counter state: the end-to-end analogue of the
+// package-level differential tests in internal/p4.
+func TestSwitchForwardBackendsIdentical(t *testing.T) {
+	type snapshot struct {
+		stats           Stats
+		occ, flow, tx   [8]int64
+		ports0, ports1  uint64
+		lookups, misses uint64
+	}
+	snap := func(interp bool) snapshot {
+		step, sw, inst := p4ForwardRig(t, interp)
+		for i := 0; i < 2000; i++ {
+			step()
+		}
+		var s snapshot
+		s.stats = sw.Stats()
+		for i := 0; i < 8; i++ {
+			s.occ[i] = inst.Register("occ").True(uint32(i))
+			s.flow[i] = inst.Register("flowbytes").True(uint32(i * 33))
+			s.tx[i] = inst.Register("txbytes").True(uint32(i))
+		}
+		s.ports0, _ = inst.Program().Counter("ports").Value(0)
+		s.ports1, _ = inst.Program().Counter("ports").Value(1)
+		s.lookups, s.misses = inst.Table("fwd").Stats()
+		return s
+	}
+	compiled := snap(false)
+	interp := snap(true)
+	if compiled != interp {
+		t.Fatalf("backend divergence:\ncompiled: %+v\ninterp:   %+v", compiled, interp)
+	}
+	if compiled.stats.TxPackets == 0 || compiled.ports1 == 0 {
+		t.Fatalf("rig forwarded nothing: %+v", compiled)
 	}
 }
 

@@ -30,7 +30,8 @@ type RegisterDecl struct {
 	Width int
 	Size  Expr
 
-	size int // resolved
+	size int    // resolved
+	mask uint64 // value mask derived from Width, filled by the checker
 }
 
 // CounterDecl is `counter(SIZE) name;`.
@@ -97,6 +98,7 @@ type AssignStmt struct {
 
 	slot  int
 	width int
+	mask  uint64 // width mask, filled by the checker
 }
 
 func (s *AssignStmt) stmtPos() Pos { return s.Pos }

@@ -162,6 +162,7 @@ func check(f *File) error {
 			return errf(d.Pos, "register %q size %d out of range", d.Name, v)
 		}
 		d.size = int(v)
+		d.mask = maskOf(d.Width)
 		c.regIdx[d.Name] = i
 	}
 	for i, d := range f.Counters {
@@ -259,6 +260,16 @@ func check(f *File) error {
 		return errf(Pos{1, 1}, "program declares no controls")
 	}
 	return nil
+}
+
+// maskOf returns the value mask for a bit<width> quantity. The checker
+// computes it once per declaration (registers, assignment targets) so
+// neither backend re-derives masks on the per-event path.
+func maskOf(width int) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(width) - 1
 }
 
 // scope tracks local variable slots within a control or action.
@@ -408,6 +419,7 @@ func (c *checker) resolveStmt(s Stmt, sc *scope, inAction bool) error {
 			return errf(st.Pos, "assignment to undeclared variable %q", st.Name)
 		}
 		st.slot, st.width = slot, width
+		st.mask = maskOf(width)
 		return c.resolveExpr(st.Expr, sc)
 	case *IfStmt:
 		if err := c.resolveExpr(st.Cond, sc); err != nil {

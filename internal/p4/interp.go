@@ -76,6 +76,13 @@ func (c *Compiled) Controls() []string {
 	return names
 }
 
+// ForceInterpret, when true, makes every subsequent Instantiate use the
+// AST interpreter even when Options.Interpret is false. It is the
+// process-wide backend override behind the -interp flag of cmd/evbench
+// and cmd/evsim (the same shape as core.ForceSlowDrain): flip it once at
+// startup to run a whole experiment suite on the oracle backend.
+var ForceInterpret bool
+
 // Options configures instantiation.
 type Options struct {
 	// MultiPort switches every shared_register to the multi-ported
@@ -86,20 +93,29 @@ type Options struct {
 	// MultiPortPorts is the port count per register in MultiPort mode
 	// (default: one per event thread, i.e. NumKinds).
 	MultiPortPorts int
+	// Interpret selects the AST-walking interpreter instead of the
+	// default compiled-closure backend. The interpreter is the
+	// differential oracle: both backends must produce byte-identical
+	// behaviour, and keeping it reachable lets tests and the -interp
+	// flags pin that equivalence.
+	Interpret bool
 }
 
 // Instance is a runnable instantiation of a compiled program: a
-// pisa.Program with handlers interpreting the µP4 controls, plus the
+// pisa.Program with handlers executing the µP4 controls (compiled
+// closures by default, the AST interpreter on request), plus the
 // program's externs.
 type Instance struct {
 	compiled *Compiled
 	prog     *pisa.Program
+	interp   bool
 
 	regs      []*pisa.SharedRegister
-	regWidth  []uint64 // value mask per register
+	regWidth  []uint64 // value mask per register (from RegisterDecl.mask)
 	cnts      []*pisa.Counter
 	tbls      []*pisa.Table
 	frames    map[*ControlDecl][]uint64
+	actFns    map[*ActionDecl]pisa.ActionFunc // compiled actions, one per decl
 	reportSeq uint32
 	switchID  uint32
 }
@@ -109,7 +125,9 @@ func (c *Compiled) Instantiate(name string, opts Options) *Instance {
 	inst := &Instance{
 		compiled: c,
 		prog:     pisa.NewProgram(name),
+		interp:   opts.Interpret || ForceInterpret,
 		frames:   make(map[*ControlDecl][]uint64),
+		actFns:   make(map[*ActionDecl]pisa.ActionFunc),
 	}
 	for _, d := range c.file.Registers {
 		var r *pisa.SharedRegister
@@ -123,7 +141,7 @@ func (c *Compiled) Instantiate(name string, opts Options) *Instance {
 			r = pisa.NewAggregatedRegister(d.Name, d.size, DeferredKinds...)
 		}
 		inst.regs = append(inst.regs, r)
-		inst.regWidth = append(inst.regWidth, maskOf(d.Width))
+		inst.regWidth = append(inst.regWidth, d.mask)
 		inst.prog.AddRegister(r)
 	}
 	for _, d := range c.file.Counters {
@@ -136,25 +154,37 @@ func (c *Compiled) Instantiate(name string, opts Options) *Instance {
 	}
 	for _, d := range c.file.Controls {
 		d := d
-		inst.frames[d] = make([]uint64, d.frameSize)
 		kind := controlKind[d.Name]
+		if inst.interp {
+			inst.frames[d] = make([]uint64, d.frameSize)
+			inst.prog.HandleFunc(kind, func(ctx *pisa.Context) {
+				frame := inst.frames[d]
+				for i := range frame {
+					frame[i] = 0
+				}
+				inst.execStmts(d.Body, ctx, frame)
+			})
+			continue
+		}
+		// Compiled backend: lower the body to a fused closure chain once,
+		// with a preallocated frame. Reuse is safe because a handler only
+		// re-enters Apply after the outer Apply returned (generated and
+		// recirculated packets run on later slots).
+		body := inst.compileStmts(d.Body)
+		frame := make([]uint64, d.frameSize)
 		inst.prog.HandleFunc(kind, func(ctx *pisa.Context) {
-			frame := inst.frames[d]
 			for i := range frame {
 				frame[i] = 0
 			}
-			inst.execStmts(d.Body, ctx, frame)
+			body(ctx, frame)
 		})
 	}
 	return inst
 }
 
-func maskOf(width int) uint64 {
-	if width >= 64 {
-		return ^uint64(0)
-	}
-	return 1<<uint(width) - 1
-}
+// Interpreted reports whether this instance runs on the AST interpreter
+// (true) or the compiled-closure backend (false).
+func (inst *Instance) Interpreted() bool { return inst.interp }
 
 // Program returns the underlying pisa.Program to load into a switch.
 func (inst *Instance) Program() *pisa.Program { return inst.prog }
@@ -185,13 +215,30 @@ func (inst *Instance) buildTable(d *TableDecl) *pisa.Table {
 			kinds[i] = pisa.Ternary
 		}
 	}
-	keys := d.Keys
-	t := pisa.NewTable(d.Name, kinds, func(ctx *pisa.Context, dst []uint64) bool {
-		for i := range keys {
-			dst[i] = inst.eval(keys[i].Expr, ctx, nil)
+	var keyFn pisa.KeyFunc
+	if inst.interp {
+		keys := d.Keys
+		keyFn = func(ctx *pisa.Context, dst []uint64) bool {
+			for i := range keys {
+				dst[i] = inst.eval(keys[i].Expr, ctx, nil)
+			}
+			return true
 		}
-		return true
-	})
+	} else {
+		// Key extraction compiles to a flat closure array, one specialized
+		// extractor per key field.
+		keyFns := make([]exprFn, len(d.Keys))
+		for i := range d.Keys {
+			keyFns[i] = inst.compileExpr(d.Keys[i].Expr)
+		}
+		keyFn = func(ctx *pisa.Context, dst []uint64) bool {
+			for i, f := range keyFns {
+				dst[i] = f(ctx, nil)
+			}
+			return true
+		}
+	}
+	t := pisa.NewTable(d.Name, kinds, keyFn)
 	if d.DefaultAction != "" {
 		act := inst.actionByName(d.DefaultAction)
 		args := make([]uint64, len(d.DefaultArgs))
@@ -214,16 +261,34 @@ func (inst *Instance) actionByName(name string) *ActionDecl {
 }
 
 // actionFunc wraps a µP4 action as a pisa.ActionFunc: the entry's params
-// become the action's frame.
+// become the action's frame. On the compiled backend the body is lowered
+// once per declaration (cached in actFns) with a preallocated frame, so
+// entry hits run without allocating.
 func (inst *Instance) actionFunc(a *ActionDecl) pisa.ActionFunc {
 	if a == nil {
 		return func(*pisa.Context, []uint64) {}
 	}
-	return func(ctx *pisa.Context, params []uint64) {
-		frame := make([]uint64, len(a.Params))
-		copy(frame, params)
-		inst.execStmts(a.Body, ctx, frame)
+	if inst.interp {
+		return func(ctx *pisa.Context, params []uint64) {
+			frame := make([]uint64, len(a.Params))
+			copy(frame, params)
+			inst.execStmts(a.Body, ctx, frame)
+		}
 	}
+	if fn, ok := inst.actFns[a]; ok {
+		return fn
+	}
+	body := inst.compileStmts(a.Body)
+	frame := make([]uint64, len(a.Params))
+	fn := pisa.ActionFunc(func(ctx *pisa.Context, params []uint64) {
+		n := copy(frame, params)
+		for i := n; i < len(frame); i++ {
+			frame[i] = 0
+		}
+		body(ctx, frame)
+	})
+	inst.actFns[a] = fn
+	return fn
 }
 
 // InstallEntry installs a table entry binding the named action with the
@@ -279,7 +344,7 @@ func (inst *Instance) execStmts(stmts []Stmt, ctx *pisa.Context, frame []uint64)
 func (inst *Instance) execStmt(s Stmt, ctx *pisa.Context, frame []uint64) bool {
 	switch st := s.(type) {
 	case *AssignStmt:
-		frame[st.slot] = inst.eval(st.Expr, ctx, frame) & maskOf(st.width)
+		frame[st.slot] = inst.eval(st.Expr, ctx, frame) & st.mask
 	case *IfStmt:
 		if inst.eval(st.Cond, ctx, frame) != 0 {
 			return inst.execStmts(st.Then, ctx, frame)

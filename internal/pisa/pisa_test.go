@@ -89,6 +89,45 @@ func TestTableExactMatch(t *testing.T) {
 	}
 }
 
+func TestTableExactApplyZeroAlloc(t *testing.T) {
+	tbl := NewTable("fwd", []MatchKind{Exact, Exact}, func(ctx *Context, dst []uint64) bool {
+		dst[0] = ctx.GetMeta("a")
+		dst[1] = ctx.GetMeta("b")
+		return true
+	})
+	tbl.SetDefault(func(ctx *Context, _ []uint64) { ctx.Drop() })
+	for i := uint64(0); i < 8; i++ {
+		if err := tbl.AddEntry(&Entry{
+			Values: []uint64{i, i * 3},
+			Action: func(ctx *Context, params []uint64) { ctx.EgressPort = int(params[0]) },
+			Params: []uint64{i},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := newCtx(events.IngressPacket, 0)
+	ctx.SetMeta("a", 5)
+	ctx.SetMeta("b", 15)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if !tbl.Apply(ctx) {
+			t.Fatal("expected hit")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("exact Apply allocates %v/op, want 0", allocs)
+	}
+	// Misses through the default action must not allocate either.
+	ctx.SetMeta("b", 999)
+	allocs = testing.AllocsPerRun(1000, func() {
+		if tbl.Apply(ctx) {
+			t.Fatal("expected miss")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("exact Apply miss allocates %v/op, want 0", allocs)
+	}
+}
+
 func TestTableExactReplaceAndDelete(t *testing.T) {
 	tbl := NewTable("t", []MatchKind{Exact}, func(ctx *Context, dst []uint64) bool {
 		dst[0] = ctx.GetMeta("k")

@@ -75,6 +75,7 @@ type Table struct {
 	defaultParams []uint64
 
 	scratch    []uint64
+	keyBuf     []byte // reused lookup key encoding; never retained
 	lookups    uint64
 	misses     uint64
 	exactIndex map[string]*Entry // fast path when all fields Exact
@@ -99,6 +100,7 @@ func NewTable(name string, kinds []MatchKind, keyFn KeyFunc) *Table {
 	}
 	if allExact {
 		t.exactIndex = make(map[string]*Entry)
+		t.keyBuf = make([]byte, 0, len(kinds)*8)
 	}
 	return t
 }
@@ -115,14 +117,21 @@ func (t *Table) SetDefault(a ActionFunc, params ...uint64) {
 	t.defaultParams = params
 }
 
-func exactKey(values []uint64) string {
-	b := make([]byte, 0, len(values)*8)
+// appendExactKey encodes the key values big-endian into dst. Apply
+// reuses the table's keyBuf and indexes the map with a direct
+// string(...) conversion, which Go compiles to an allocation-free
+// lookup; only entry installation materializes a real string.
+func appendExactKey(dst []byte, values []uint64) []byte {
 	for _, v := range values {
 		for s := 56; s >= 0; s -= 8 {
-			b = append(b, byte(v>>uint(s)))
+			dst = append(dst, byte(v>>uint(s)))
 		}
 	}
-	return string(b)
+	return dst
+}
+
+func exactKey(values []uint64) string {
+	return string(appendExactKey(make([]byte, 0, len(values)*8), values))
 }
 
 // AddEntry installs an entry. For tables whose fields are all Exact, a
@@ -201,7 +210,8 @@ func (t *Table) Apply(ctx *Context) bool {
 		return t.miss(ctx)
 	}
 	if t.allExact {
-		if e, ok := t.exactIndex[exactKey(t.scratch)]; ok {
+		t.keyBuf = appendExactKey(t.keyBuf[:0], t.scratch)
+		if e, ok := t.exactIndex[string(t.keyBuf)]; ok {
 			e.hits++
 			e.Action(ctx, e.Params)
 			return true
