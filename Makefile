@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench evbench bench-json bench-smoke bench-diff check-backends telemetry-smoke
+.PHONY: check vet build test race fuzz bench evbench bench-json bench-smoke bench-diff check-backends telemetry-smoke crash-smoke
 
 # The gate everything must pass: static checks, a full build, the test
 # suite, the concurrency-sensitive packages (parallel experiment
 # harness, partitioned engine, fault injection) under the race detector,
 # an end-to-end telemetry export check, the µP4 backend differential
-# check, and a perf regression diff against the committed baseline.
-check: vet build test race telemetry-smoke check-backends bench-diff
+# check, the crash-injection checkpoint/restore harness, and a perf
+# regression diff against the committed baseline.
+check: vet build test race telemetry-smoke check-backends crash-smoke bench-diff
 
 vet:
 	$(GO) vet ./...
@@ -19,10 +20,11 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/bench -run 'TestParallel|TestResilience|TestDomain|TestScale|TestTelemetry|TestFastForward|TestUP4'
+	$(GO) test -race ./internal/bench -run 'TestParallel|TestResilience|TestDomain|TestScale|TestTelemetry|TestFastForward|TestUP4|TestTrialPanic|TestJournal'
 	$(GO) test -race ./internal/sim -run 'TestPartition|TestAtWire|TestRunBefore'
 	$(GO) test -race ./internal/netsim -run 'TestPartitioned|TestScheduleLinkChange|TestCrossDomain'
 	$(GO) test -race ./internal/faults
+	$(GO) test -race ./internal/checkpoint
 
 # Coverage-guided fuzzing: the fault-schedule parser/validator and the
 # µP4 compiled-vs-interpreter differential target. Not part of `check`
@@ -67,6 +69,14 @@ check-backends:
 	$(GO) run ./cmd/evbench > /tmp/evbench.compiled.txt
 	$(GO) run ./cmd/evbench -interp > /tmp/evbench.interp.txt
 	diff /tmp/evbench.compiled.txt /tmp/evbench.interp.txt && echo "check-backends: compiled == interp"
+
+# Crash-injection differential harness: SIGKILL the real evsim binary
+# mid-run at a randomized instant, resume from the surviving checkpoint,
+# and require byte-identical statistics (TestCrashSIGKILLResume), plus
+# the in-process resume and exit-code pins in the same package.
+crash-smoke:
+	$(GO) test ./cmd/evsim -run 'TestCrashSIGKILLResume|TestResumeByteIdentical|TestExitCodes' -count 1
+	@echo "crash-smoke: SIGKILL + resume is byte-identical"
 
 # End-to-end telemetry check: export trace + metrics from an
 # instrumented experiment, schema-validate both with tracecheck, and

@@ -13,22 +13,38 @@
 //	evbench -memprofile mem.pprof    # write an allocation profile
 //	evbench -exp hula -trace t.json -metrics m.json
 //	                                 # telemetry: lifecycle trace + metrics export
+//	evbench -exp scale -resume scale.journal
+//	                                 # campaign resumption: completed trials are
+//	                                 # journaled and skipped on the next run
 //
 // -trace writes the event-lifecycle trace (Chrome/Perfetto trace-event
 // JSON, or JSON lines when the file ends in .jsonl); -metrics writes the
 // metrics registry document. Both need -exp (one experiment per export)
 // and work for the instrumented experiments (staleness, hula, scale).
 //
+// -resume names a trial journal (one per experiment): every completed
+// trial is appended as it finishes, and a rerun after a crash loads the
+// recorded results instead of recomputing them, producing byte-identical
+// tables. It needs -exp and composes with -parallel/-domains; it does
+// not compose with -trace/-metrics (telemetry is recorded while trials
+// execute, so skipped trials would leave holes in the export).
+//
 // Output is identical for every -parallel and -domains value: trials are
 // distributed across workers but result rows are emitted in trial order,
 // and partitioned topologies execute byte-identically to single-threaded.
 // That extends to telemetry: trace and metrics files are byte-identical
 // at any -parallel and -domains setting.
+//
+// Exit codes: 0 on success, 1 on runtime failure (profile or export
+// write errors), 2 on usage errors (unknown experiment, invalid flag
+// combinations).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -38,31 +54,48 @@ import (
 	"repro/internal/telemetry"
 )
 
-func main() {
-	exp := flag.String("exp", "", "experiment id to run (default: all)")
-	flag.StringVar(exp, "experiment", "", "alias for -exp")
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	par := flag.Int("parallel", bench.Parallelism(),
+const (
+	exitOK      = 0
+	exitRuntime = 1
+	exitUsage   = 2
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("evbench", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	exp := fs.String("exp", "", "experiment id to run (default: all)")
+	fs.StringVar(exp, "experiment", "", "alias for -exp")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	par := fs.Int("parallel", bench.Parallelism(),
 		"worker goroutines for experiment trials (0 = GOMAXPROCS)")
-	domains := flag.Int("domains", bench.Domains(),
+	domains := fs.Int("domains", bench.Domains(),
 		"partition domains for topology experiments (intra-trial parallelism)")
-	benchjson := flag.String("benchjson", "",
+	benchjson := fs.String("benchjson", "",
 		"write BENCH_<experiment>.json reports into `dir`")
-	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to `file`")
-	memprofile := flag.String("memprofile", "", "write allocation profile to `file`")
-	traceFile := flag.String("trace", "",
+	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to `file`")
+	memprofile := fs.String("memprofile", "", "write allocation profile to `file`")
+	traceFile := fs.String("trace", "",
 		"write the event-lifecycle trace to `file` (.jsonl = JSON lines, else Chrome JSON); needs -exp")
-	metricsFile := flag.String("metrics", "",
+	metricsFile := fs.String("metrics", "",
 		"write the telemetry metrics document to `file`; needs -exp")
-	interp := flag.Bool("interp", false,
+	interp := fs.Bool("interp", false,
 		"execute µP4 programs with the interpreter instead of compiled closures (differential oracle)")
-	flag.Parse()
+	resume := fs.String("resume", "",
+		"journal completed trials in `file` and skip them on rerun; needs -exp")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return exitOK
+		}
+		return exitUsage
+	}
 
 	if *list {
 		for _, e := range bench.All() {
-			fmt.Printf("%-12s %s\n", e.ID, e.Paper)
+			fmt.Fprintf(out, "%-12s %s\n", e.ID, e.Paper)
 		}
-		return
+		return exitOK
 	}
 
 	if *par <= 0 {
@@ -72,11 +105,32 @@ func main() {
 	bench.SetDomains(*domains)
 	p4.ForceInterpret = *interp
 
-	if *traceFile != "" || *metricsFile != "" {
-		if *exp == "" {
-			fmt.Fprintln(os.Stderr, "evbench: -trace/-metrics need -exp (one experiment per export)")
-			os.Exit(1)
+	telemetryOn := *traceFile != "" || *metricsFile != ""
+	if telemetryOn && *exp == "" {
+		fmt.Fprintln(errw, "evbench: -trace/-metrics need -exp (one experiment per export)")
+		return exitUsage
+	}
+	if *resume != "" && *exp == "" {
+		fmt.Fprintln(errw, "evbench: -resume needs -exp (one experiment per journal)")
+		return exitUsage
+	}
+	if *resume != "" && telemetryOn {
+		fmt.Fprintln(errw, "evbench: -resume does not compose with -trace/-metrics (skipped trials record no telemetry)")
+		return exitUsage
+	}
+	var todo []bench.Experiment
+	if *exp != "" {
+		e, ok := bench.Get(*exp)
+		if !ok {
+			fmt.Fprintf(errw, "evbench: unknown experiment %q (try -list)\n", *exp)
+			return exitUsage
 		}
+		todo = []bench.Experiment{e}
+	} else {
+		todo = bench.All()
+	}
+
+	if telemetryOn {
 		bench.EnableTelemetry(telemetry.Options{
 			TraceCap:     telemetry.DefaultTraceCap,
 			SamplePeriod: telemetry.DefaultSamplePeriod,
@@ -86,74 +140,81 @@ func main() {
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "evbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(errw, "evbench: %v\n", err)
+			return exitRuntime
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "evbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(errw, "evbench: %v\n", err)
+			return exitRuntime
 		}
 		defer pprof.StopCPUProfile()
 	}
 
-	runOne := func(e bench.Experiment) {
-		if *benchjson == "" {
-			fmt.Println(e.Run().String())
-			return
-		}
-		res, rep := bench.RunReport(e)
-		fmt.Println(res.String())
-		path, err := bench.WriteReport(*benchjson, rep)
+	if *resume != "" {
+		j, err := bench.OpenJournal(*resume, *exp)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "evbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(errw, "evbench: %v\n", err)
+			return exitRuntime
 		}
-		fmt.Fprintf(os.Stderr, "evbench: wrote %s\n", path)
+		bench.SetJournal(j)
+		defer func() {
+			bench.SetJournal(nil)
+			if hits := j.Hits(); hits > 0 {
+				fmt.Fprintf(errw, "evbench: %d trial(s) loaded from %s\n", hits, *resume)
+			}
+			j.Close()
+		}()
 	}
 
-	run := func() {
-		if *exp != "" {
-			e, ok := bench.Get(*exp)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "evbench: unknown experiment %q (try -list)\n", *exp)
-				os.Exit(1)
-			}
-			runOne(e)
-			return
+	runOne := func(e bench.Experiment) error {
+		if *benchjson == "" {
+			fmt.Fprintln(out, e.Run().String())
+			return nil
 		}
-		for _, e := range bench.All() {
-			runOne(e)
+		res, rep := bench.RunReport(e)
+		fmt.Fprintln(out, res.String())
+		path, err := bench.WriteReport(*benchjson, rep)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(errw, "evbench: wrote %s\n", path)
+		return nil
+	}
+	for _, e := range todo {
+		if err := runOne(e); err != nil {
+			fmt.Fprintf(errw, "evbench: %v\n", err)
+			return exitRuntime
 		}
 	}
-	run()
 
 	if *traceFile != "" {
 		if err := bench.WriteTelemetryTrace(*traceFile); err != nil {
-			fmt.Fprintf(os.Stderr, "evbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(errw, "evbench: %v\n", err)
+			return exitRuntime
 		}
-		fmt.Fprintf(os.Stderr, "evbench: wrote %s\n", *traceFile)
+		fmt.Fprintf(errw, "evbench: wrote %s\n", *traceFile)
 	}
 	if *metricsFile != "" {
 		if err := bench.WriteTelemetryMetrics(*metricsFile); err != nil {
-			fmt.Fprintf(os.Stderr, "evbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(errw, "evbench: %v\n", err)
+			return exitRuntime
 		}
-		fmt.Fprintf(os.Stderr, "evbench: wrote %s\n", *metricsFile)
+		fmt.Fprintf(errw, "evbench: wrote %s\n", *metricsFile)
 	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "evbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(errw, "evbench: %v\n", err)
+			return exitRuntime
 		}
 		defer f.Close()
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "evbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(errw, "evbench: %v\n", err)
+			return exitRuntime
 		}
 	}
+	return exitOK
 }

@@ -6,19 +6,38 @@
 //	evsim -arch baseline -overspeed 1.0 -load 1.0
 //	evsim -p4 program.up4 -ms 5
 //	evsim -p4 program.up4 -interp    # interpreter oracle instead of compiled closures
+//	evsim -ms 10 -checkpoint-every 1ms -checkpoint run.ckpt
+//	evsim -ms 10 -checkpoint-every 1ms -resume run.ckpt
 //
 // With -p4, the given µP4 program is compiled and loaded instead of the
 // built-in port-pairing forwarder (ports are paired 0<->1, 2<->3 there).
 // -interp executes it with the tree-walking interpreter instead of the
 // specialized Go closures; the observable behaviour is identical.
+//
+// -checkpoint-every writes a checkpoint of the full simulator state to
+// the -checkpoint file at a fixed simulated-time cadence (atomically: a
+// crash mid-write leaves the previous checkpoint intact). -resume loads
+// such a file and continues the run; the resumed run's statistics,
+// telemetry metrics, and traces are byte-identical to the uninterrupted
+// run's. A resume must use the same flags as the run that wrote the
+// checkpoint — the file carries a config digest and mismatches are
+// refused (see DESIGN.md §13).
+//
+// Exit codes: 0 on success, 1 on runtime failure (unreadable files,
+// compile errors, write failures), 2 on usage errors (bad flags, a
+// checkpoint that does not match the flags).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/p4"
@@ -29,74 +48,224 @@ import (
 	"repro/internal/workload"
 )
 
-func main() {
-	arch := flag.String("arch", "event", "architecture: event | baseline")
-	load := flag.Float64("load", 0.9, "offered load per port (1.0 = line rate)")
-	size := flag.Int("size", 60, "frame size in bytes (60..1514)")
-	ms := flag.Int("ms", 10, "simulated milliseconds")
-	overspeed := flag.Float64("overspeed", 1.1, "pipeline overspeed factor")
-	ports := flag.Int("ports", 4, "switch ports")
-	rate := flag.Int64("gbps", 10, "per-port line rate in Gb/s")
-	p4file := flag.String("p4", "", "µP4 program to load (default: built-in forwarder)")
-	interp := flag.Bool("interp", false,
-		"run the -p4 program under the interpreter instead of compiled closures")
-	seed := flag.Uint64("seed", 1, "workload RNG seed")
-	trace := flag.Int("trace", 0, "print the first N pipeline slots")
-	traceFile := flag.String("tracefile", "",
-		"write the event-lifecycle trace to `file` (.jsonl = JSON lines, else Chrome JSON)")
-	metricsFile := flag.String("metrics", "", "write the telemetry metrics document to `file`")
-	flag.Parse()
+// Exit codes: the crash-injection harness and CI scripts tell a crashed
+// run (signal / exit 1) from a misused one (exit 2).
+const (
+	exitOK      = 0
+	exitRuntime = 1
+	exitUsage   = 2
+)
 
-	sched := sim.NewScheduler()
-	var a *core.Arch
-	switch *arch {
-	case "event":
-		a = core.EventDriven()
-	case "baseline":
-		a = core.Baseline()
-	default:
-		fmt.Fprintf(os.Stderr, "evsim: unknown arch %q\n", *arch)
-		os.Exit(1)
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// usageError marks an error as operator misuse (exit 2) rather than a
+// runtime failure (exit 1).
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+// config is every flag that affects simulation behaviour, resolved and
+// validated. Its digest pins a checkpoint to the exact run configuration.
+type config struct {
+	archName  string
+	load      float64
+	size      int
+	ms        int
+	overspeed float64
+	ports     int
+	gbps      int64
+	p4file    string
+	p4src     string // program source (content, not path)
+	interp    bool
+	seed      uint64
+	trace     int
+	traceFile string
+	metrics   string
+
+	ckptEvery sim.Time
+	ckptPath  string
+	resume    string
+}
+
+func (c *config) telemetryOn() bool { return c.traceFile != "" || c.metrics != "" }
+
+// digest fingerprints the behaviour-affecting configuration. The
+// checkpoint and trace file paths are deliberately excluded: they change
+// where output lands, not what the simulation does. Whether telemetry is
+// enabled at all is included, because enabling it changes the
+// construction path (the sampler ticker draws an event sequence number).
+func (c *config) digest() uint64 {
+	return checkpoint.Digest(
+		"evsim",
+		c.archName,
+		fmt.Sprint(c.load),
+		fmt.Sprint(c.size),
+		fmt.Sprint(c.ms),
+		fmt.Sprint(c.overspeed),
+		fmt.Sprint(c.ports),
+		fmt.Sprint(c.gbps),
+		c.p4src,
+		fmt.Sprint(c.interp),
+		fmt.Sprint(c.seed),
+		fmt.Sprint(c.telemetryOn()),
+		fmt.Sprint(int64(c.ckptEvery)),
+	)
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("evsim", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	arch := fs.String("arch", "event", "architecture: event | baseline")
+	load := fs.Float64("load", 0.9, "offered load per port (1.0 = line rate)")
+	size := fs.Int("size", 60, "frame size in bytes (60..1514)")
+	ms := fs.Int("ms", 10, "simulated milliseconds")
+	overspeed := fs.Float64("overspeed", 1.1, "pipeline overspeed factor")
+	ports := fs.Int("ports", 4, "switch ports")
+	rate := fs.Int64("gbps", 10, "per-port line rate in Gb/s")
+	p4file := fs.String("p4", "", "µP4 program to load (default: built-in forwarder)")
+	interp := fs.Bool("interp", false,
+		"run the -p4 program under the interpreter instead of compiled closures")
+	seed := fs.Uint64("seed", 1, "workload RNG seed")
+	trace := fs.Int("trace", 0, "print the first N pipeline slots")
+	traceFile := fs.String("tracefile", "",
+		"write the event-lifecycle trace to `file` (.jsonl = JSON lines, else Chrome JSON)")
+	metricsFile := fs.String("metrics", "", "write the telemetry metrics document to `file`")
+	ckptEvery := fs.String("checkpoint-every", "",
+		"write a checkpoint every simulated `interval` (e.g. 500us, 2ms; empty = off)")
+	ckptPath := fs.String("checkpoint", "", "checkpoint `file` (required with -checkpoint-every)")
+	resume := fs.String("resume", "", "resume from checkpoint `file` instead of starting fresh")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return exitOK
+		}
+		return exitUsage
 	}
-	sw := core.New(core.Config{
+
+	cfg := &config{
+		archName: *arch, load: *load, size: *size, ms: *ms,
+		overspeed: *overspeed, ports: *ports, gbps: *rate,
+		p4file: *p4file, interp: *interp, seed: *seed, trace: *trace,
+		traceFile: *traceFile, metrics: *metricsFile,
+		ckptPath: *ckptPath, resume: *resume,
+	}
+	if err := finishConfig(cfg, *ckptEvery); err != nil {
+		fmt.Fprintf(errw, "evsim: %v\n", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			return exitUsage
+		}
+		return exitRuntime
+	}
+	if err := simulate(cfg, out, errw); err != nil {
+		fmt.Fprintf(errw, "evsim: %v\n", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			return exitUsage
+		}
+		return exitRuntime
+	}
+	return exitOK
+}
+
+// finishConfig validates flag values, loads the µP4 source, and parses
+// the checkpoint cadence.
+func finishConfig(cfg *config, every string) error {
+	switch cfg.archName {
+	case "event", "baseline":
+	default:
+		return usagef("unknown arch %q (want event or baseline)", cfg.archName)
+	}
+	if cfg.ms <= 0 {
+		return usagef("-ms must be positive, got %d", cfg.ms)
+	}
+	if cfg.ports <= 0 {
+		return usagef("-ports must be positive, got %d", cfg.ports)
+	}
+	if cfg.p4file != "" {
+		src, err := os.ReadFile(cfg.p4file)
+		if err != nil {
+			return fmt.Errorf("reading -p4 program: %w", err)
+		}
+		cfg.p4src = string(src)
+	}
+	if every != "" {
+		d, err := time.ParseDuration(every)
+		if err != nil || d <= 0 {
+			return usagef("bad -checkpoint-every %q (want a positive duration like 500us or 2ms)", every)
+		}
+		cfg.ckptEvery = sim.Time(d.Nanoseconds()) * sim.Nanosecond
+	}
+	if cfg.ckptEvery > 0 && cfg.ckptPath == "" && cfg.resume == "" {
+		return usagef("-checkpoint-every needs -checkpoint (where to write)")
+	}
+	if cfg.ckptPath == "" {
+		// Resuming keeps checkpointing into the same file by default.
+		cfg.ckptPath = cfg.resume
+	}
+	return nil
+}
+
+// build constructs the simulation through the one deterministic
+// construction path shared by fresh starts and resumes (DESIGN.md §13:
+// restore pours state into an identically built object graph). When
+// start is true the traffic generators fire their first emission; a
+// resume leaves them prepared and re-arms them from the checkpoint.
+type simState struct {
+	cfg   *config
+	sched *sim.Scheduler
+	arch  *core.Arch
+	sw    *core.Switch
+	inst  *p4.Instance
+	tel   *telemetry.Collector
+	gens  []*workload.Gen
+}
+
+func build(cfg *config, start bool, out io.Writer) (*simState, error) {
+	st := &simState{cfg: cfg, sched: sim.NewScheduler()}
+	switch cfg.archName {
+	case "event":
+		st.arch = core.EventDriven()
+	case "baseline":
+		st.arch = core.Baseline()
+	}
+	st.sw = core.New(core.Config{
 		Name:      "evsim",
-		Ports:     *ports,
-		LineRate:  sim.Rate(*rate) * sim.Gbps,
-		Overspeed: *overspeed,
-	}, a, sched)
+		Ports:     cfg.ports,
+		LineRate:  sim.Rate(cfg.gbps) * sim.Gbps,
+		Overspeed: cfg.overspeed,
+	}, st.arch, st.sched)
 
 	var prog *pisa.Program
-	if *p4file != "" {
-		src, err := os.ReadFile(*p4file)
+	if cfg.p4src != "" {
+		compiled, err := p4.Compile(cfg.p4src)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "evsim:", err)
-			os.Exit(1)
+			return nil, fmt.Errorf("compile %s: %w", cfg.p4file, err)
 		}
-		compiled, err := p4.Compile(string(src))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "evsim: compile:", err)
-			os.Exit(1)
-		}
-		inst := compiled.Instantiate(*p4file, p4.Options{Interpret: *interp})
-		prog = inst.Program()
+		st.inst = compiled.Instantiate(cfg.p4file, p4.Options{Interpret: cfg.interp})
+		prog = st.inst.Program()
 		backend := "compiled"
-		if inst.Interpreted() {
+		if st.inst.Interpreted() {
 			backend = "interp"
 		}
-		fmt.Printf("loaded %s (controls: %v, backend: %s)\n", *p4file, compiled.Controls(), backend)
+		fmt.Fprintf(out, "loaded %s (controls: %v, backend: %s)\n", cfg.p4file, compiled.Controls(), backend)
 		for _, h := range compiled.Analyze() {
 			level := "note"
 			if h.Fatal {
 				level = "ERROR"
 			}
-			fmt.Printf("analysis %s: %v\n", level, h)
+			fmt.Fprintf(out, "analysis %s: %v\n", level, h)
 		}
 	} else {
 		prog = pisa.NewProgram("forwarder")
 		prog.HandleFunc(events.IngressPacket, func(ctx *pisa.Context) {
 			ctx.EgressPort = ctx.Pkt.InPort ^ 1
 		})
-		if a.Supports(events.BufferEnqueue) {
+		if st.arch.Supports(events.BufferEnqueue) {
 			occ := prog.AddRegister(pisa.NewAggregatedRegister("occ", 64,
 				events.BufferEnqueue, events.BufferDequeue))
 			prog.HandleFunc(events.BufferEnqueue, func(ctx *pisa.Context) {
@@ -107,21 +276,19 @@ func main() {
 			})
 		}
 	}
-	if err := sw.Load(prog); err != nil {
-		fmt.Fprintln(os.Stderr, "evsim:", err)
-		os.Exit(1)
+	if err := st.sw.Load(prog); err != nil {
+		return nil, fmt.Errorf("loading program: %w", err)
 	}
-	var tel *telemetry.Collector
-	if *traceFile != "" || *metricsFile != "" {
-		tel = telemetry.New(telemetry.Options{
+	if cfg.telemetryOn() {
+		st.tel = telemetry.New(telemetry.Options{
 			TraceCap:     telemetry.DefaultTraceCap,
 			SamplePeriod: telemetry.DefaultSamplePeriod,
 		})
-		sw.EnableTelemetry(tel)
+		st.sw.EnableTelemetry(st.tel)
 	}
-	if *trace > 0 {
-		remaining := *trace
-		sw.OnSlot = func(info core.SlotInfo) {
+	if cfg.trace > 0 {
+		remaining := cfg.trace
+		st.sw.OnSlot = func(info core.SlotInfo) {
 			if remaining <= 0 {
 				return
 			}
@@ -130,65 +297,112 @@ func main() {
 			if info.Empty {
 				kind = "EmptyPacket"
 			}
-			fmt.Printf("cycle=%-8d t=%-12v slot=%-18s len=%-5d events=%v\n",
+			fmt.Fprintf(out, "cycle=%-8d t=%-12v slot=%-18s len=%-5d events=%v\n",
 				info.Cycle, info.At, kind, info.PktLen, info.Events)
 		}
 	}
 
-	horizon := sim.Time(*ms) * sim.Millisecond
-	rng := sim.NewRNG(*seed)
-	for port := 0; port < *ports; port++ {
+	horizon := sim.Time(cfg.ms) * sim.Millisecond
+	rng := sim.NewRNG(cfg.seed)
+	for port := 0; port < cfg.ports; port++ {
 		port := port
-		g := workload.NewGen(sched, rng.Split(), func(d []byte) { sw.Inject(port, d) })
+		g := workload.NewGen(st.sched, rng.Split(), func(d []byte) { st.sw.Inject(port, d) })
 		fl := packet.Flow{
 			Src: packet.IP4(10, byte(port), 0, 1), Dst: packet.IP4(10, byte(port^1), 0, 1),
 			SrcPort: uint16(1000 + port), DstPort: 80, Proto: packet.ProtoUDP,
 		}
-		g.StartSaturate(workload.SaturateConfig{
-			Flow: fl, Rate: sim.Rate(*rate) * sim.Gbps, Load: *load, Size: *size, Until: horizon,
-		})
+		sc := workload.SaturateConfig{
+			Flow: fl, Rate: sim.Rate(cfg.gbps) * sim.Gbps,
+			Load: cfg.load, Size: cfg.size, Until: horizon,
+		}
+		if start {
+			g.StartSaturate(sc)
+		} else {
+			g.PrepareSaturate(sc)
+		}
+		st.gens = append(st.gens, g)
 	}
-	sched.Run(horizon + 2*sim.Millisecond)
+	return st, nil
+}
 
-	if tel != nil {
-		runs := []telemetry.RunExport{{Label: "evsim", C: tel}}
-		if *traceFile != "" {
+func simulate(cfg *config, out, errw io.Writer) error {
+	var st *simState
+	var ck *checkpointer
+	horizon := sim.Time(cfg.ms) * sim.Millisecond
+
+	if cfg.resume != "" {
+		f, err := checkpoint.Open(cfg.resume)
+		if err != nil {
+			return err
+		}
+		if f.ConfigDigest != cfg.digest() {
+			return usagef("checkpoint %s was written under different flags (config digest %#x, these flags %#x); "+
+				"resume with the same configuration", cfg.resume, f.ConfigDigest, cfg.digest())
+		}
+		st, err = build(cfg, false, out)
+		if err != nil {
+			return err
+		}
+		ck, err = restoreRun(st, f)
+		if err != nil {
+			return fmt.Errorf("restoring %s: %w", cfg.resume, err)
+		}
+		fmt.Fprintf(errw, "evsim: resumed from %s at t=%v\n", cfg.resume, st.sched.Now())
+	} else {
+		var err error
+		st, err = build(cfg, true, out)
+		if err != nil {
+			return err
+		}
+		if cfg.ckptEvery > 0 {
+			ck = newCheckpointer(st)
+			ck.arm(cfg.ckptEvery)
+		}
+	}
+
+	st.sched.Run(horizon + 2*sim.Millisecond)
+	if ck != nil && ck.err != nil {
+		return fmt.Errorf("writing checkpoint: %w", ck.err)
+	}
+
+	if st.tel != nil {
+		runs := []telemetry.RunExport{{Label: "evsim", C: st.tel}}
+		if cfg.traceFile != "" {
 			var err error
-			if strings.HasSuffix(*traceFile, ".jsonl") {
-				err = telemetry.WriteJSONL(*traceFile, runs)
+			if strings.HasSuffix(cfg.traceFile, ".jsonl") {
+				err = telemetry.WriteJSONL(cfg.traceFile, runs)
 			} else {
-				err = telemetry.WriteChromeTrace(*traceFile, runs)
+				err = telemetry.WriteChromeTrace(cfg.traceFile, runs)
 			}
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "evsim:", err)
-				os.Exit(1)
+				return fmt.Errorf("writing trace: %w", err)
 			}
-			fmt.Printf("wrote trace %s\n", *traceFile)
+			fmt.Fprintf(errw, "evsim: wrote trace %s\n", cfg.traceFile)
 		}
-		if *metricsFile != "" {
-			if err := telemetry.WriteMetrics(*metricsFile, runs); err != nil {
-				fmt.Fprintln(os.Stderr, "evsim:", err)
-				os.Exit(1)
+		if cfg.metrics != "" {
+			if err := telemetry.WriteMetrics(cfg.metrics, runs); err != nil {
+				return fmt.Errorf("writing metrics: %w", err)
 			}
-			fmt.Printf("wrote metrics %s\n", *metricsFile)
+			fmt.Fprintf(errw, "evsim: wrote metrics %s\n", cfg.metrics)
 		}
 	}
 
-	st := sw.Stats()
-	fmt.Printf("arch=%s cycleTime=%v horizon=%v\n", a.Name, sw.CycleTime(), horizon)
-	fmt.Printf("rx=%d tx=%d (%.2f%% delivered) drops: pipeline=%d linkDown=%d\n",
-		st.RxPackets, st.TxPackets,
-		100*float64(st.TxPackets)/float64(max64(st.RxPackets, 1)),
-		st.PipelineDrops, st.TxDroppedLinkDown)
-	fmt.Printf("cycles=%d packetSlots=%d emptySlots=%d drainSlots=%d recirc=%d generated=%d\n",
-		st.Cycles, st.PacketSlots, st.EmptySlots, st.DrainSlots, st.Recirculated, st.Generated)
+	stats := st.sw.Stats()
+	fmt.Fprintf(out, "arch=%s cycleTime=%v horizon=%v\n", st.arch.Name, st.sw.CycleTime(), horizon)
+	fmt.Fprintf(out, "rx=%d tx=%d (%.2f%% delivered) drops: pipeline=%d linkDown=%d\n",
+		stats.RxPackets, stats.TxPackets,
+		100*float64(stats.TxPackets)/float64(max64(stats.RxPackets, 1)),
+		stats.PipelineDrops, stats.TxDroppedLinkDown)
+	fmt.Fprintf(out, "cycles=%d packetSlots=%d emptySlots=%d drainSlots=%d recirc=%d generated=%d\n",
+		stats.Cycles, stats.PacketSlots, stats.EmptySlots, stats.DrainSlots, stats.Recirculated, stats.Generated)
 	for k := 0; k < events.NumKinds; k++ {
 		kind := events.Kind(k)
-		if st.EventsMerged[k] > 0 || st.EventsDropped[k] > 0 {
-			fmt.Printf("  event %-22s merged=%-10d fifoDrops=%d\n",
-				kind, st.EventsMerged[k], st.EventsDropped[k])
+		if stats.EventsMerged[k] > 0 || stats.EventsDropped[k] > 0 {
+			fmt.Fprintf(out, "  event %-22s merged=%-10d fifoDrops=%d\n",
+				kind, stats.EventsMerged[k], stats.EventsDropped[k])
 		}
 	}
+	return nil
 }
 
 func max64(a, b uint64) uint64 {

@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // parallelism is the worker-pool width used by RunParallel. It defaults
@@ -39,7 +41,27 @@ func Parallelism() int { return int(parallelism.Load()) }
 // experiment are independent simulations, which is exactly the
 // parallelism this helper exploits. Under this contract the rendered
 // experiment tables are byte-identical at every parallelism level.
+// Worker panics do not kill the campaign outright: a panicking trial is
+// retried from its last checkpoint — the trial boundary, since trials
+// are self-contained — up to trialAttempts times with linear backoff. A
+// trial that panics on every attempt re-panics with context, and any
+// trials already recorded in the active Journal survive for the next
+// -resume.
 func RunParallel[T any](n int, fn func(trial int) T) []T {
+	run := fn
+	if j := currentJournal(); j != nil {
+		call := j.nextCall()
+		run = func(trial int) T {
+			if v, ok := journalLookup[T](j, call, trial); ok {
+				return v
+			}
+			v := runTrial(fn, trial)
+			journalRecord(j, call, trial, v)
+			return v
+		}
+	} else {
+		run = func(trial int) T { return runTrial(fn, trial) }
+	}
 	out := make([]T, n)
 	workers := Parallelism()
 	if workers > n {
@@ -47,7 +69,7 @@ func RunParallel[T any](n int, fn func(trial int) T) []T {
 	}
 	if workers <= 1 {
 		for i := range out {
-			out[i] = fn(i)
+			out[i] = run(i)
 		}
 		return out
 	}
@@ -62,12 +84,45 @@ func RunParallel[T any](n int, fn func(trial int) T) []T {
 				if i >= n {
 					return
 				}
-				out[i] = fn(i)
+				out[i] = run(i)
 			}
 		}()
 	}
 	wg.Wait()
 	return out
+}
+
+// trialAttempts bounds how many times a panicking trial is retried;
+// trialBackoff is the linear backoff base between attempts (a variable
+// so the retry tests do not sleep for real).
+const trialAttempts = 3
+
+var trialBackoff = 5 * time.Millisecond
+
+// runTrial executes one trial with panic recovery and bounded retry.
+func runTrial[T any](fn func(trial int) T, trial int) T {
+	var lastPanic any
+	for attempt := 1; attempt <= trialAttempts; attempt++ {
+		v, panicked := tryTrial(fn, trial)
+		if panicked == nil {
+			return v
+		}
+		lastPanic = panicked
+		if attempt < trialAttempts {
+			time.Sleep(time.Duration(attempt) * trialBackoff)
+		}
+	}
+	panic(fmt.Sprintf("bench: trial %d panicked on all %d attempts, last: %v", trial, trialAttempts, lastPanic))
+}
+
+func tryTrial[T any](fn func(trial int) T, trial int) (v T, panicked any) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = r
+		}
+	}()
+	v = fn(trial)
+	return v, nil
 }
 
 // TrialSeed derives a per-trial RNG seed from an experiment's base seed

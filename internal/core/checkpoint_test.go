@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/events"
+	"repro/internal/packet"
+	"repro/internal/pisa"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ckptRig mirrors the evsim scenario: a 4-port event-driven switch with
+// the native forwarder program and one saturate generator per port. The
+// construction path is identical for the original and the restored run;
+// only whether the generators fire their first emission differs.
+type ckptRig struct {
+	sched *sim.Scheduler
+	sw    *Switch
+	gens  []*workload.Gen
+}
+
+func buildCkptRig(t testing.TB, start bool) *ckptRig {
+	t.Helper()
+	r := &ckptRig{sched: sim.NewScheduler()}
+	r.sw = New(Config{Name: "ckpt", Ports: 4}, EventDriven(), r.sched)
+	prog := pisa.NewProgram("fwd")
+	occ := prog.AddRegister(pisa.NewAggregatedRegister("occ", 64,
+		events.BufferEnqueue, events.BufferDequeue))
+	prog.HandleFunc(events.IngressPacket, func(ctx *pisa.Context) {
+		ctx.EgressPort = ctx.Pkt.InPort ^ 1
+	})
+	prog.HandleFunc(events.BufferEnqueue, func(ctx *pisa.Context) {
+		occ.Add(ctx, uint32(ctx.Ev.Port), int64(ctx.Ev.PktLen))
+	})
+	prog.HandleFunc(events.BufferDequeue, func(ctx *pisa.Context) {
+		occ.Add(ctx, uint32(ctx.Ev.Port), -int64(ctx.Ev.PktLen))
+	})
+	r.sw.MustLoad(prog)
+	rng := sim.NewRNG(1)
+	for port := 0; port < 4; port++ {
+		port := port
+		g := workload.NewGen(r.sched, rng.Split(), func(d []byte) { r.sw.Inject(port, d) })
+		sc := workload.SaturateConfig{
+			Flow: packet.Flow{
+				Src: packet.IP4(10, byte(port), 0, 1), Dst: packet.IP4(10, byte(port^1), 0, 1),
+				SrcPort: uint16(1000 + port), DstPort: 80, Proto: packet.ProtoUDP,
+			},
+			Rate: 10 * sim.Gbps, Load: 0.9, Size: 60, Until: 2 * sim.Millisecond,
+		}
+		if start {
+			g.StartSaturate(sc)
+		} else {
+			g.PrepareSaturate(sc)
+		}
+		r.gens = append(r.gens, g)
+	}
+	return r
+}
+
+func (r *ckptRig) snapshot() []byte {
+	e := checkpoint.NewEncoder()
+	clk := r.sched.Clock()
+	e.I64(int64(clk.Now))
+	e.U64(clk.Seq)
+	e.U64(clk.Fired)
+	r.sw.Snapshot(e)
+	for _, g := range r.gens {
+		g.Snapshot(e)
+	}
+	return e.Bytes()
+}
+
+// restore loads a snapshot taken between Run calls: the cut line for
+// DropFired is (now, seq counter) — every construction-replayed event
+// ordered before it had already fired in the original run.
+func (r *ckptRig) restore(t testing.TB, buf []byte) {
+	t.Helper()
+	d := checkpoint.NewDecoder(buf)
+	var clk sim.ClockState
+	clk.Now = sim.Time(d.I64())
+	clk.Seq = d.U64()
+	clk.Fired = d.U64()
+	r.sw.Restore(d)
+	for _, g := range r.gens {
+		g.Restore(d)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("restore left %d bytes unread", d.Remaining())
+	}
+	r.sched.DropFired(clk.Now, clk.Seq)
+	r.sched.RestoreClock(clk)
+}
+
+// TestSwitchCheckpointResumeIdentical is the core-level differential
+// pin: run to T/2, snapshot, pour the snapshot into an identically
+// constructed switch, run both to T, and require identical stats,
+// emission counters, and register state.
+func TestSwitchCheckpointResumeIdentical(t *testing.T) {
+	const half, full = sim.Millisecond, 2 * sim.Millisecond
+
+	a := buildCkptRig(t, true)
+	a.sched.Run(half)
+	snap := a.snapshot()
+	a.sched.Run(full + 500*sim.Microsecond)
+
+	b := buildCkptRig(t, false)
+	b.restore(t, snap)
+	if b.sched.Now() != half {
+		t.Fatalf("restored clock at %v, want %v", b.sched.Now(), half)
+	}
+	b.sched.Run(full + 500*sim.Microsecond)
+
+	if a.sw.Stats() != b.sw.Stats() {
+		t.Errorf("stats diverge:\noriginal: %+v\nresumed:  %+v", a.sw.Stats(), b.sw.Stats())
+	}
+	for i := range a.gens {
+		if a.gens[i].SentPackets != b.gens[i].SentPackets || a.gens[i].SentBytes != b.gens[i].SentBytes {
+			t.Errorf("gen %d: sent %d/%d bytes, resumed %d/%d",
+				i, a.gens[i].SentPackets, a.gens[i].SentBytes, b.gens[i].SentPackets, b.gens[i].SentBytes)
+		}
+	}
+	if a.sched.Clock() != b.sched.Clock() {
+		t.Errorf("scheduler counters diverge: original %+v, resumed %+v", a.sched.Clock(), b.sched.Clock())
+	}
+	aocc := a.sw.Program().Register("occ")
+	bocc := b.sw.Program().Register("occ")
+	for i := uint32(0); i < 8; i++ {
+		if aocc.True(i) != bocc.True(i) {
+			t.Errorf("occ[%d] = %d, resumed %d", i, aocc.True(i), bocc.True(i))
+		}
+	}
+	if a.sw.Stats().TxPackets == 0 {
+		t.Fatal("scenario forwarded nothing; differential is vacuous")
+	}
+}
+
+// TestSwitchRestoreZeroAlloc verifies restore rebuilds the pooled object
+// graph without breaking the zero-allocation steady state: a restored
+// switch's forward path must not allocate, exactly like a warm one
+// (TestSwitchForwardZeroAlloc).
+func TestSwitchRestoreZeroAlloc(t *testing.T) {
+	a := buildCkptRig(t, true)
+	a.sched.Run(sim.Millisecond) // warm pools and rings past steady state
+	snap := a.snapshot()
+
+	b := buildCkptRig(t, false)
+	b.restore(t, snap)
+	step := func() {
+		b.sched.Run(b.sched.Now() + 10*sim.Microsecond)
+	}
+	step() // settle the first post-restore window
+	before := b.sw.Stats().TxPackets
+	if avg := testing.AllocsPerRun(200, step); avg != 0 {
+		t.Errorf("restored switch allocates %v per steady-state window, want 0", avg)
+	}
+	if b.sw.Stats().TxPackets == before {
+		t.Fatal("nothing forwarded during the measurement")
+	}
+}

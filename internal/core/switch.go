@@ -196,15 +196,17 @@ type Switch struct {
 
 	evq [events.NumKinds]*events.Queue
 
-	tmgr   *tm.TM
-	linkUp []bool
-	txBusy []bool
-	txPkt  []*packet.Packet // packet on the wire per port
-	txDone []sim.Action     // per-port tx-complete callbacks, built once
-	evSeq  uint64
+	tmgr    *tm.TM
+	linkUp  []bool
+	txBusy  []bool
+	txPkt   []*packet.Packet // packet on the wire per port
+	txDone  []sim.Action     // per-port tx-complete callbacks, built once
+	txDoneH []sim.Handle     // per-port pending tx-complete event (for checkpoints)
+	evSeq   uint64
 
 	emptyPkt     packet.Packet   // reused metadata-carrier slot packet
 	pipeFree     []*pipeJob      // free list of pipeline-latency enqueue jobs
+	pipeActive   []*pipeJob      // jobs between their slot and the TM (for checkpoints)
 	pipeInFlight int             // packets between their slot and the TM
 	egrFree      []*pisa.Context // free list of egress contexts (pump re-enters)
 
@@ -254,6 +256,7 @@ func New(cfg Config, arch *Arch, sched *sim.Scheduler) *Switch {
 	s.txBusy = make([]bool, cfg.Ports)
 	s.txPkt = make([]*packet.Packet, cfg.Ports)
 	s.txDone = make([]sim.Action, cfg.Ports)
+	s.txDoneH = make([]sim.Handle, cfg.Ports)
 	for i := range s.linkUp {
 		s.linkUp[i] = true
 		port := i
@@ -847,6 +850,8 @@ type pipeJob struct {
 	pkt            *packet.Packet
 	port, q        int
 	rank, flowHash uint64
+	h              sim.Handle // pending delivery event (for checkpoints)
+	idx            int        // position in s.pipeActive
 }
 
 // Run implements sim.Runner: deliver the packet to the traffic manager
@@ -854,6 +859,12 @@ type pipeJob struct {
 func (j *pipeJob) Run() {
 	s, pkt, port, q, rank, fh := j.s, j.pkt, j.port, j.q, j.rank, j.flowHash
 	j.pkt = nil
+	// Swap-remove from the active list (order there is irrelevant; the
+	// checkpoint sorts by event seq).
+	last := len(s.pipeActive) - 1
+	s.pipeActive[j.idx] = s.pipeActive[last]
+	s.pipeActive[j.idx].idx = j.idx
+	s.pipeActive = s.pipeActive[:last]
 	s.pipeFree = append(s.pipeFree, j)
 	s.pipeInFlight--
 	s.enqueueOut(pkt, port, q, rank, fh)
@@ -871,8 +882,10 @@ func (s *Switch) enqueueOutDelayed(pkt *packet.Packet, port, q int, rank, flowHa
 	}
 	j.pkt, j.port, j.q, j.rank, j.flowHash = pkt, port, q, rank, flowHash
 	s.pipeInFlight++
+	j.idx = len(s.pipeActive)
+	s.pipeActive = append(s.pipeActive, j)
 	delay := sim.Time(s.cfg.PipelineLatency) * s.cycleTime
-	s.sched.AfterRunner(delay, j)
+	j.h = s.sched.AfterRunner(delay, j)
 }
 
 func (s *Switch) enqueueOut(pkt *packet.Packet, port, q int, rank, flowHash uint64) {
@@ -953,7 +966,7 @@ func (s *Switch) pump(port int) {
 	s.txBusy[port] = true
 	s.txPkt[port] = pkt
 	ser := s.cfg.LineRate.ByteTime(pkt.Len() + WireOverhead)
-	s.sched.After(ser, s.txDone[port])
+	s.txDoneH[port] = s.sched.After(ser, s.txDone[port])
 }
 
 // txComplete finishes a port's in-flight transmission: the packet's last

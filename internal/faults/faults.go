@@ -93,6 +93,10 @@ func (k Kind) String() string {
 type Spec struct {
 	Kind Kind
 
+	// ID optionally names the spec ("id=..." in the DSL) so reports and
+	// error messages can refer to it. ParseSchedule rejects duplicates.
+	ID string
+
 	// Link, Switch, Host and Agent select the fault's target by index
 	// into the network's Links()/Switches()/Hosts() slices or the
 	// engine's Options.Agents. Only the index relevant to Kind is read.

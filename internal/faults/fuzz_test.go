@@ -15,6 +15,11 @@ func FuzzParseSchedule(f *testing.F) {
 	f.Add("dup link=0 prob=1e-3 delay=0.5us\nseed 0xdeadbeef")
 	f.Add("flap link=0 down=9999999999s period=1ps count=1")
 	f.Add("seed 18446744073709551615")
+	f.Add("loss link=0 id=a pgb=0.1\ncorrupt link=1 id=a prob=0.5")
+	f.Add("loss link=0 pgb=1.5")
+	f.Add("corrupt link=0 prob=-0.1")
+	f.Add("reorder link=0 prob=NaN delay=1us")
+	f.Add("dup link=0 id=only prob=1")
 	f.Fuzz(func(t *testing.T, text string) {
 		sch, err := ParseSchedule(text)
 		if err != nil {

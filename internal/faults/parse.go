@@ -14,7 +14,7 @@ import (
 //
 //	seed 42
 //	flap    link=0 start=1ms period=500us down=50us count=100
-//	loss    link=1 pgb=0.01 pbg=0.2 lossbad=0.8
+//	loss    link=1 id=wan-loss pgb=0.01 pbg=0.2 lossbad=0.8
 //	corrupt link=1 prob=0.05
 //	reorder link=0 prob=0.1 delay=20us
 //	dup     link=0 prob=0.02 delay=5us
@@ -23,10 +23,13 @@ import (
 //	cpdelay agent=0 factor=10 start=1ms end=4ms
 //
 // Keys map onto Spec fields; durations take ps/ns/us/ms/s suffixes with
-// an optional decimal ("50us", "2.5ms"). The parser never panics — fuzzed
-// via FuzzParseSchedule — and the result always passes Validate.
+// an optional decimal ("50us", "2.5ms"). "id=" optionally names a spec;
+// duplicate ids and probabilities outside [0,1] are rejected with the
+// offending line's position. The parser never panics — fuzzed via
+// FuzzParseSchedule — and the result always passes Validate.
 func ParseSchedule(text string) (*Schedule, error) {
 	sch := &Schedule{}
+	ids := map[string]int{} // spec id -> first defining line
 	for ln, line := range strings.Split(text, "\n") {
 		if i := strings.IndexByte(line, '#'); i >= 0 {
 			line = line[:i]
@@ -35,8 +38,17 @@ func ParseSchedule(text string) (*Schedule, error) {
 		if len(fields) == 0 {
 			continue
 		}
+		before := len(sch.Specs)
 		if err := parseLine(sch, fields); err != nil {
 			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		if len(sch.Specs) > before {
+			if id := sch.Specs[len(sch.Specs)-1].ID; id != "" {
+				if first, dup := ids[id]; dup {
+					return nil, fmt.Errorf("line %d: duplicate spec id %q (first defined at line %d)", ln+1, id, first)
+				}
+				ids[id] = ln + 1
+			}
 		}
 	}
 	if err := sch.Validate(); err != nil {
@@ -134,6 +146,9 @@ func setField(s *Spec, key, val string) error {
 		if err != nil {
 			return fmt.Errorf("bad number %s=%q", key, val)
 		}
+		if key != "factor" && !(p >= 0 && p <= 1) { // rejects NaN too
+			return fmt.Errorf("probability %s=%q out of range [0,1]", key, val)
+		}
 		switch key {
 		case "pgb":
 			s.PGoodBad = p
@@ -163,6 +178,8 @@ func setField(s *Spec, key, val string) error {
 			return err
 		}
 		s.Event = k
+	case "id":
+		s.ID = val
 	default:
 		return fmt.Errorf("unknown key %q", key)
 	}

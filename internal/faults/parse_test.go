@@ -109,6 +109,62 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestParseDuplicateSpecID pins the satellite requirement: duplicate
+// spec ids are rejected with both line positions; distinct and absent
+// ids are fine.
+func TestParseDuplicateSpecID(t *testing.T) {
+	dup := `
+loss link=0 id=wan pgb=0.1 pbg=0.2
+corrupt link=1 prob=0.05
+dup link=0 id=wan prob=0.01 delay=5us
+`
+	_, err := ParseSchedule(dup)
+	if err == nil {
+		t.Fatal("duplicate spec id accepted")
+	}
+	for _, want := range []string{"line 4", `duplicate spec id "wan"`, "line 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+
+	ok := `
+loss link=0 id=a pgb=0.1 pbg=0.2
+dup link=0 id=b prob=0.01 delay=5us
+corrupt link=1 prob=0.05
+reorder link=0 prob=0.1 delay=20us
+`
+	if _, err := ParseSchedule(ok); err != nil {
+		t.Errorf("distinct/absent ids rejected: %v", err)
+	}
+}
+
+// TestParseProbabilityRange pins the other half of the satellite: every
+// probability key is range-checked with the line position, including the
+// NaN trap (NaN compares false against both bounds).
+func TestParseProbabilityRange(t *testing.T) {
+	for _, bad := range []string{
+		"loss link=0 pgb=1.5",
+		"loss link=0 pbg=-0.1",
+		"loss link=0 lossgood=2",
+		"loss link=0 lossbad=1.0001",
+		"corrupt link=0 prob=NaN",
+	} {
+		_, err := ParseSchedule("# header\n" + bad)
+		if err == nil {
+			t.Errorf("ParseSchedule(%q) accepted", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "[0,1]") || !strings.Contains(err.Error(), "line 2") {
+			t.Errorf("ParseSchedule(%q) error %q, want range message with line 2", bad, err)
+		}
+	}
+	// Boundary values are legal probabilities.
+	if _, err := ParseSchedule("loss link=0 pgb=0 pbg=1 lossbad=1"); err != nil {
+		t.Errorf("boundary probabilities rejected: %v", err)
+	}
+}
+
 func TestSpecSeedIndependence(t *testing.T) {
 	seen := map[uint64]bool{}
 	for i := 0; i < 100; i++ {

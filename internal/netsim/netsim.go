@@ -251,14 +251,15 @@ type Host struct {
 	// HeldFrames counts sends deferred while the host was paused.
 	HeldFrames uint64
 
-	net    *Network
-	link   *Link
-	sched  *sim.Scheduler // the attached switch's domain scheduler
-	rate   sim.Rate
-	busy   sim.Time // NIC busy-until for serialization
-	paused bool
-	held   [][]byte
-	txFree []*hostTx
+	net      *Network
+	link     *Link
+	sched    *sim.Scheduler // the attached switch's domain scheduler
+	rate     sim.Rate
+	busy     sim.Time // NIC busy-until for serialization
+	paused   bool
+	held     [][]byte
+	txFree   []*hostTx
+	txActive []*hostTx // serializing transmissions (for checkpoints)
 }
 
 // hostTx is a pooled NIC transmission: the serialization-delay Runner and
@@ -268,6 +269,8 @@ type Host struct {
 type hostTx struct {
 	h   *Host
 	buf []byte
+	hd  sim.Handle // pending serialization-done event (for checkpoints)
+	idx int        // position in h.txActive
 }
 
 // Run implements sim.Runner: the NIC finished serializing; put the frame
@@ -275,6 +278,10 @@ type hostTx struct {
 // returning).
 func (t *hostTx) Run() {
 	h := t.h
+	last := len(h.txActive) - 1
+	h.txActive[t.idx] = h.txActive[last]
+	h.txActive[t.idx].idx = t.idx
+	h.txActive = h.txActive[:last]
 	h.net.deliver(h.link, endpoint{host: h}, t.buf)
 	h.txFree = append(h.txFree, t)
 }
@@ -317,7 +324,9 @@ func (h *Host) Send(data []byte) {
 		t = &hostTx{h: h}
 	}
 	t.buf = append(t.buf[:0], data...)
-	h.sched.AtRunner(h.busy, t)
+	t.idx = len(h.txActive)
+	h.txActive = append(h.txActive, t)
+	t.hd = h.sched.AtRunner(h.busy, t)
 }
 
 // Pause stalls the host: subsequent Sends are held (in order) until

@@ -1,0 +1,43 @@
+package packet
+
+import "repro/internal/checkpoint"
+
+// poolWarmCap is the Data capacity pre-grown into free-list packets
+// fabricated by Pool.Restore. A restored free list must behave like the
+// original's — handing out buffers that hold a full frame without
+// growing — so the steady-state loop stays allocation-free from the
+// first post-restore packet.
+const poolWarmCap = 2048
+
+// Snapshot serializes the pool's observable state: the free-list depth
+// and the lifetime allocation counters. The packets themselves are
+// snapshotted by whoever holds them (queues, TM, wire).
+func (pl *Pool) Snapshot(e *checkpoint.Encoder) {
+	e.Int(len(pl.free))
+	e.U64(pl.News)
+	e.U64(pl.Reuses)
+}
+
+// Restore rebuilds the pool's free list and counters. Call it after
+// every live packet has been re-created through GetCopy: restoring the
+// free-list depth and counters last makes the pool's future Get/Release
+// behavior (and its News/Reuses counters) identical to the uninterrupted
+// run's.
+func (pl *Pool) Restore(d *checkpoint.Decoder) {
+	n := d.Int()
+	news := d.U64()
+	reuses := d.U64()
+	if d.Err() != nil {
+		return
+	}
+	pl.free = pl.free[:0]
+	for i := 0; i < n; i++ {
+		pl.free = append(pl.free, &Packet{
+			pool:  pl,
+			freed: true,
+			Data:  make([]byte, 0, poolWarmCap),
+		})
+	}
+	pl.News = news
+	pl.Reuses = reuses
+}

@@ -130,6 +130,13 @@ type Gen struct {
 	SentBytes   uint64
 	stopped     bool
 
+	// pending is the stream's next scheduled emission and satSeq/satStep
+	// the saturate stream's cursor and step closure; together they are
+	// what a checkpoint needs to re-arm the stream (checkpoint.go).
+	pending sim.Handle
+	satSeq  uint32
+	satStep sim.Action
+
 	// buf is the scratch frame reused across emissions (see Sink).
 	buf []byte
 }
@@ -255,6 +262,15 @@ type SaturateConfig struct {
 // StartSaturate emits fixed-size frames at Load x line rate with exact
 // deterministic spacing.
 func (g *Gen) StartSaturate(cfg SaturateConfig) {
+	g.PrepareSaturate(cfg)
+	g.satStep()
+}
+
+// PrepareSaturate builds (but does not fire) the saturate step closure.
+// The stream's cursor lives on the generator rather than in the closure
+// so a checkpoint can capture it and a restored run can re-arm the same
+// closure without the initial emission (checkpoint.go).
+func (g *Gen) PrepareSaturate(cfg SaturateConfig) {
 	if cfg.Size <= 0 {
 		cfg.Size = packet.MinFrameLen
 	}
@@ -263,16 +279,15 @@ func (g *Gen) StartSaturate(cfg SaturateConfig) {
 	}
 	gap := sim.Time(float64(cfg.Rate.ByteTime(cfg.Size+24)) / cfg.Load)
 	var step func()
-	seq := uint32(0)
 	step = func() {
 		if g.stopped || (cfg.Until > 0 && g.sched.Now() >= cfg.Until) {
 			return
 		}
 		fl := cfg.Flow
-		fl.SrcPort = uint16(1024 + seq%16) // a few sub-flows for hashing
-		seq++
+		fl.SrcPort = uint16(1024 + g.satSeq%16) // a few sub-flows for hashing
+		g.satSeq++
 		g.emit(g.frame(packet.FrameSpec{Flow: fl, TotalLen: cfg.Size}))
-		g.sched.After(gap, step)
+		g.pending = g.sched.After(gap, step)
 	}
-	step()
+	g.satStep = step
 }
