@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench evbench bench-json bench-smoke bench-diff check-backends telemetry-smoke crash-smoke
+.PHONY: check vet build test race fuzz bench evbench bench-json bench-smoke bench-diff burst-smoke check-backends telemetry-smoke crash-smoke
 
 # The gate everything must pass: static checks, a full build, the test
 # suite, the concurrency-sensitive packages (parallel experiment
 # harness, partitioned engine, fault injection) under the race detector,
 # an end-to-end telemetry export check, the µP4 backend differential
-# check, the crash-injection checkpoint/restore harness, and a perf
-# regression diff against the committed baseline.
-check: vet build test race telemetry-smoke check-backends crash-smoke bench-diff
+# check, the burst-datapath differential check, the crash-injection
+# checkpoint/restore harness, and a perf regression diff against the
+# committed baseline.
+check: vet build test race telemetry-smoke check-backends burst-smoke crash-smoke bench-diff
 
 vet:
 	$(GO) vet ./...
@@ -20,9 +21,10 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/bench -run 'TestParallel|TestResilience|TestDomain|TestScale|TestTelemetry|TestFastForward|TestUP4|TestTrialPanic|TestJournal'
-	$(GO) test -race ./internal/sim -run 'TestPartition|TestAtWire|TestRunBefore'
-	$(GO) test -race ./internal/netsim -run 'TestPartitioned|TestScheduleLinkChange|TestCrossDomain'
+	$(GO) test -race ./internal/bench -run 'TestParallel|TestResilience|TestDomain|TestScale|TestTelemetry|TestFastForward|TestUP4|TestTrialPanic|TestJournal|TestBurst'
+	$(GO) test -race ./internal/sim -run 'TestPartition|TestAtWire|TestRunBefore|TestAdvanceTo'
+	$(GO) test -race ./internal/netsim -run 'TestPartitioned|TestScheduleLinkChange|TestCrossDomain|TestBurst'
+	$(GO) test -race ./internal/core -run 'TestBurst|TestSwitchBurst'
 	$(GO) test -race ./internal/faults
 	$(GO) test -race ./internal/checkpoint
 
@@ -46,14 +48,17 @@ evbench:
 bench-json:
 	$(GO) run ./cmd/evbench -benchjson .
 
-# Compare two BENCH_<id>.json reports (override OLD/NEW):
+# Compare BENCH_<id>.json report pairs (override OLD/NEW, OLD2/NEW2):
 #   make bench-diff OLD=BENCH_scale.before.json NEW=BENCH_scale.json
-# Prints malloc / alloc-bytes / wall / cycles-per-sec deltas and fails if
+# Prints malloc / alloc-bytes / wall / cycles-per-sec deltas (aggregate
+# and per perf row, including the burst-off oracle rows) and fails if
 # the deterministic table or telemetry digest changed.
 OLD ?= BENCH_scale.before.json
 NEW ?= BENCH_scale.json
+OLD2 ?= BENCH_up4.before.json
+NEW2 ?= BENCH_up4.json
 bench-diff:
-	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW) $(OLD2) $(NEW2)
 
 # Quick cross-check that the partitioned engine changes nothing: every
 # experiment's table diffed between -domains 1 and -domains 2.
@@ -61,6 +66,14 @@ bench-smoke:
 	$(GO) run ./cmd/evbench -domains 1 > /tmp/evbench.d1.txt
 	$(GO) run ./cmd/evbench -domains 2 > /tmp/evbench.d2.txt
 	diff /tmp/evbench.d1.txt /tmp/evbench.d2.txt && echo "bench-smoke: -domains 1 == -domains 2"
+
+# Burst datapath differential check at the experiment level: every table
+# and figure regenerated with the default burst engine must be
+# byte-identical to the per-packet oracle (-burst 0).
+burst-smoke:
+	$(GO) run ./cmd/evbench > /tmp/evbench.burst.txt
+	$(GO) run ./cmd/evbench -burst 0 > /tmp/evbench.noburst.txt
+	diff /tmp/evbench.burst.txt /tmp/evbench.noburst.txt && echo "burst-smoke: burst == -burst 0"
 
 # µP4 backend differential check at the experiment level: every table
 # and figure regenerated with compiled closures must be byte-identical

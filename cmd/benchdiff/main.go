@@ -1,9 +1,15 @@
-// Command benchdiff compares two BENCH_<experiment>.json reports (see
+// Command benchdiff compares BENCH_<experiment>.json reports (see
 // internal/bench.Report) and prints the malloc, allocated-bytes, wall-time
 // and cycles-per-second deltas, so a perf change can be judged in one
-// glance:
+// glance. It takes one or more OLD NEW pairs:
 //
 //	benchdiff BENCH_scale.before.json BENCH_scale.json
+//	benchdiff BENCH_scale.before.json BENCH_scale.json \
+//	          BENCH_up4.before.json   BENCH_up4.json
+//
+// Below the aggregates it diffs the per-sample cycles-per-second rows,
+// matched by (label, domains): rows present only in the new report (the
+// burst-off oracle rows, for example) are listed as "new".
 //
 // The deterministic experiment table embedded in each report is also
 // compared: a perf optimization must not change a single cell, so a table
@@ -62,28 +68,52 @@ func fmtNum(v float64, unit string) string {
 	return fmt.Sprintf("%.2f%s", v, unit)
 }
 
-func main() {
-	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
-		flag.PrintDefaults()
+// perfKey matches samples across reports. Multiple samples may share a
+// key (repeated labels are taken in order of appearance).
+type perfKey struct {
+	label   string
+	domains int
+}
+
+// diffPerf prints per-sample cycles-per-second deltas, matching new
+// samples against old ones by (label, domains) occurrence order.
+func diffPerf(oldRep, newRep *bench.Report) {
+	if len(newRep.Perf) == 0 {
+		return
 	}
-	flag.Parse()
-	if flag.NArg() != 2 {
-		flag.Usage()
-		os.Exit(2)
+	oldByKey := make(map[perfKey][]bench.PerfSample)
+	for _, p := range oldRep.Perf {
+		k := perfKey{p.Label, p.Domains}
+		oldByKey[k] = append(oldByKey[k], p)
 	}
-	oldRep, newRep := load(flag.Arg(0)), load(flag.Arg(1))
+	for _, p := range newRep.Perf {
+		k := perfKey{p.Label, p.Domains}
+		name := fmt.Sprintf("  %s d%d", p.Label, p.Domains)
+		if olds := oldByKey[k]; len(olds) > 0 {
+			row(name, olds[0].CyclesPerSec, p.CyclesPerSec, "", false)
+			oldByKey[k] = olds[1:]
+		} else {
+			fmt.Printf("%-14s %18s -> %-18s (new)\n", name, "-", fmtNum(p.CyclesPerSec, ""))
+		}
+	}
+}
+
+// diffPair compares one OLD/NEW report pair and reports whether the
+// deterministic halves (table, telemetry digest) are unchanged.
+func diffPair(oldPath, newPath string) bool {
+	oldRep, newRep := load(oldPath), load(newPath)
 	if oldRep.Experiment != newRep.Experiment {
 		fmt.Fprintf(os.Stderr, "benchdiff: comparing different experiments: %q vs %q\n",
 			oldRep.Experiment, newRep.Experiment)
 	}
-	fmt.Printf("experiment %s: %s -> %s\n", newRep.Experiment, flag.Arg(0), flag.Arg(1))
+	fmt.Printf("experiment %s: %s -> %s\n", newRep.Experiment, oldPath, newPath)
 	row("mallocs", float64(oldRep.Mallocs), float64(newRep.Mallocs), "", true)
 	row("alloc_bytes", float64(oldRep.AllocBytes), float64(newRep.AllocBytes), "", true)
 	row("wall_seconds", oldRep.WallSeconds, newRep.WallSeconds, "s", true)
 	if oldRep.CyclesPerSec > 0 || newRep.CyclesPerSec > 0 {
 		row("cycles_per_sec", oldRep.CyclesPerSec, newRep.CyclesPerSec, "", false)
 	}
+	diffPerf(oldRep, newRep)
 
 	ok := true
 	if oldRep.Table != newRep.Table {
@@ -99,6 +129,28 @@ func main() {
 			ok = false
 		} else {
 			fmt.Println("telemetry digest: identical")
+		}
+	}
+	return ok
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json [OLD.json NEW.json ...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 2 || flag.NArg()%2 != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ok := true
+	for i := 0; i < flag.NArg(); i += 2 {
+		if i > 0 {
+			fmt.Println()
+		}
+		if !diffPair(flag.Arg(i), flag.Arg(i+1)) {
+			ok = false
 		}
 	}
 	if !ok {

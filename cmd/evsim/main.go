@@ -6,6 +6,7 @@
 //	evsim -arch baseline -overspeed 1.0 -load 1.0
 //	evsim -p4 program.up4 -ms 5
 //	evsim -p4 program.up4 -interp    # interpreter oracle instead of compiled closures
+//	evsim -burst 0                   # per-packet datapath (burst differential oracle)
 //	evsim -ms 10 -checkpoint-every 1ms -checkpoint run.ckpt
 //	evsim -ms 10 -checkpoint-every 1ms -resume run.ckpt
 //
@@ -82,6 +83,7 @@ type config struct {
 	p4file    string
 	p4src     string // program source (content, not path)
 	interp    bool
+	burst     int
 	seed      uint64
 	trace     int
 	traceFile string
@@ -111,6 +113,7 @@ func (c *config) digest() uint64 {
 		fmt.Sprint(c.gbps),
 		c.p4src,
 		fmt.Sprint(c.interp),
+		fmt.Sprint(c.burst),
 		fmt.Sprint(c.seed),
 		fmt.Sprint(c.telemetryOn()),
 		fmt.Sprint(int64(c.ckptEvery)),
@@ -130,6 +133,8 @@ func run(args []string, out, errw io.Writer) int {
 	p4file := fs.String("p4", "", "µP4 program to load (default: built-in forwarder)")
 	interp := fs.Bool("interp", false,
 		"run the -p4 program under the interpreter instead of compiled closures")
+	burst := fs.Int("burst", -1,
+		"burst slot budget per pipeline wakeup (0 = per-packet differential oracle, -1 = default)")
 	seed := fs.Uint64("seed", 1, "workload RNG seed")
 	trace := fs.Int("trace", 0, "print the first N pipeline slots")
 	traceFile := fs.String("tracefile", "",
@@ -149,7 +154,7 @@ func run(args []string, out, errw io.Writer) int {
 	cfg := &config{
 		archName: *arch, load: *load, size: *size, ms: *ms,
 		overspeed: *overspeed, ports: *ports, gbps: *rate,
-		p4file: *p4file, interp: *interp, seed: *seed, trace: *trace,
+		p4file: *p4file, interp: *interp, burst: *burst, seed: *seed, trace: *trace,
 		traceFile: *traceFile, metrics: *metricsFile,
 		ckptPath: *ckptPath, resume: *resume,
 	}
@@ -233,12 +238,18 @@ func build(cfg *config, start bool, out io.Writer) (*simState, error) {
 	case "baseline":
 		st.arch = core.Baseline()
 	}
-	st.sw = core.New(core.Config{
+	swCfg := core.Config{
 		Name:      "evsim",
 		Ports:     cfg.ports,
 		LineRate:  sim.Rate(cfg.gbps) * sim.Gbps,
 		Overspeed: cfg.overspeed,
-	}, st.arch, st.sched)
+	}
+	if cfg.burst == 0 {
+		swCfg.NoBurst = true
+	} else if cfg.burst > 0 {
+		swCfg.BurstSlots = cfg.burst
+	}
+	st.sw = core.New(swCfg, st.arch, st.sched)
 
 	var prog *pisa.Program
 	if cfg.p4src != "" {

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// withNoBurst runs fn with burst processing globally disabled — every
+// switch and link built inside fn uses the per-packet/per-frame oracle
+// path. The flag is written before any trial goroutine starts and
+// restored after they all finish.
+func withNoBurst(noBurst bool, fn func()) {
+	prev := core.ForceNoBurst
+	core.ForceNoBurst = noBurst
+	defer func() { core.ForceNoBurst = prev }()
+	fn()
+}
+
+// TestBurstFabricIdentical is the experiment-level differential for the
+// burst datapath on the partitioned engine: a HULA leaf-spine fabric at
+// 1 and 2 domains, each with bursting off and on, must agree on the full
+// deterministic digest (switch stats, link counters, uplink bytes, host
+// counters) and on the telemetry digest. Burst slot loops, vectorized
+// frame delivery, bulk TM enqueue, and cross-domain burst mailbox
+// handoff all sit on this path; the per-packet oracle at -domains 1 is
+// the reference.
+func TestBurstFabricIdentical(t *testing.T) {
+	run := func(noBurst bool, domains int) (uint64, uint64) {
+		var m fabricMetrics
+		var telDig uint64
+		withNoBurst(noBurst, func() {
+			c := telemetry.New(telOpts)
+			m = runHULAFabric(fabricSpec{
+				tors: 2, spines: 2,
+				probePeriod: 200 * sim.Microsecond,
+				horizon:     5 * sim.Millisecond,
+				flows:       4,
+				flowRate:    660 * sim.Mbps,
+				domains:     domains,
+				tel:         c,
+			})
+			var err error
+			telDig, err = telemetry.Digest([]telemetry.RunExport{{Label: "fab", C: c}})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		return m.digest, telDig
+	}
+	refDig, refTel := run(true, 1)
+	for _, tc := range []struct {
+		noBurst bool
+		domains int
+	}{{false, 1}, {true, 2}, {false, 2}} {
+		dig, tel := run(tc.noBurst, tc.domains)
+		if dig != refDig {
+			t.Errorf("fabric digest %016x (noburst=%v domains=%d) != reference %016x",
+				dig, tc.noBurst, tc.domains, refDig)
+		}
+		if tel != refTel {
+			t.Errorf("telemetry digest %016x (noburst=%v domains=%d) != reference %016x",
+				tel, tc.noBurst, tc.domains, refTel)
+		}
+	}
+}

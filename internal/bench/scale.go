@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/sim"
 )
 
@@ -72,6 +73,34 @@ func ScaleBench() *Result {
 				Speedup:      baseWall.Seconds() / wall.Seconds(),
 			})
 		}
+		// Burst-off differential row: re-run the serial fabric through the
+		// per-packet oracle. The digest must match the burst-on baseline —
+		// a divergence is an engine bug, not a measurement, so it panics.
+		// The row lands in the Perf samples only (labelled -noburst); the
+		// rendered table stays burst-agnostic.
+		saved := core.ForceNoBurst
+		core.ForceNoBurst = true
+		start := time.Now()
+		m := runHULAFabric(fabricSpec{
+			tors: f.tors, spines: f.spines,
+			probePeriod: 200 * sim.Microsecond, horizon: f.horizon,
+			flows: f.flows, flowRate: f.rate,
+			domains: 1,
+			tel:     trialCollector(fmt.Sprintf("scale/%s-noburst", label)),
+		})
+		wall := time.Since(start)
+		core.ForceNoBurst = saved
+		if m != base {
+			panic(fmt.Sprintf("bench: scale %s per-packet oracle diverged from burst baseline (digest %016x vs %016x)",
+				label, m.digest, base.digest))
+		}
+		res.Perf = append(res.Perf, PerfSample{
+			Label: label + "-noburst", Domains: 1,
+			WallSeconds:  wall.Seconds(),
+			Cycles:       m.cycles,
+			CyclesPerSec: float64(m.cycles) / wall.Seconds(),
+			Speedup:      baseWall.Seconds() / wall.Seconds(),
+		})
 	}
 	res.Notef("digest folds every switch/link/host counter; 'identical' checks it against the 1-domain baseline")
 	res.Notef("wall-clock, cycles/s, and speedup per row are host-dependent and live in the Perf samples (make bench-json)")

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/checkpoint"
 	"repro/internal/events"
@@ -58,9 +57,14 @@ func restoreTicker(d *checkpoint.Decoder) sim.TickerState {
 	return st
 }
 
-func snapHandle(e *checkpoint.Encoder, h sim.Handle) {
-	at, seq, ok := h.When()
-	e.Bool(ok)
+// snapCoord encodes a pending/at/seq triple — the same bytes the old
+// Handle-based encoding produced, so snapshots stay format-compatible
+// now that tx completions live on the conveyor instead of the heap.
+func snapCoord(e *checkpoint.Encoder, pending bool, at sim.Time, seq uint64) {
+	e.Bool(pending)
+	if !pending {
+		at, seq = 0, 0
+	}
 	e.I64(int64(at))
 	e.U64(seq)
 }
@@ -120,31 +124,23 @@ func (s *Switch) Snapshot(e *checkpoint.Encoder) {
 		if s.txPkt[p] != nil {
 			snapPacket(e, s.txPkt[p])
 		}
-		snapHandle(e, s.txDoneH[p])
+		snapCoord(e, s.txDonePend[p], s.txDoneAt[p], s.txDoneSeq[p])
 	}
 
-	// In-flight pipeline jobs, ordered by event seq so the section is
-	// deterministic (the active list's order depends on completion order).
-	jobs := make([]*pipeJob, len(s.pipeActive))
-	copy(jobs, s.pipeActive)
-	sort.Slice(jobs, func(i, j int) bool {
-		_, si, _ := jobs[i].h.When()
-		_, sj, _ := jobs[j].h.When()
-		return si < sj
-	})
-	e.Int(len(jobs))
-	for _, j := range jobs {
-		snapPacket(e, j.pkt)
-		e.Int(j.port)
-		e.Int(j.q)
-		e.U64(j.rank)
-		e.U64(j.flowHash)
-		at, seq, ok := j.h.When()
-		if !ok {
-			panic("core: active pipeline job with no pending event")
-		}
-		e.I64(int64(at))
-		e.U64(seq)
+	// In-flight pipeline conveyor entries, oldest first. The conveyor is
+	// FIFO in (at, seq), which is exactly the event-seq order the old
+	// heap-based encoding sorted into, so the section bytes are unchanged.
+	live := s.pipeQ[s.pipeHead:]
+	e.Int(len(live))
+	for i := range live {
+		en := &live[i]
+		snapPacket(e, en.pkt)
+		e.Int(en.port)
+		e.Int(en.q)
+		e.U64(en.rank)
+		e.U64(en.flowHash)
+		e.I64(int64(en.at))
+		e.U64(en.seq)
 	}
 
 	// Hardware timers and generators.
@@ -262,6 +258,18 @@ func (s *Switch) Restore(d *checkpoint.Decoder) {
 	}
 	s.evSeq = d.U64()
 
+	// Rebuild the derived O(1) work-check state from the restored queues.
+	s.rxPending = 0
+	for p := range s.rxq {
+		s.rxPending += len(s.rxq[p]) - s.rxHead[p]
+	}
+	s.evMask = 0
+	for k := 0; k < events.NumKinds; k++ {
+		if s.evq[k].Len() > 0 {
+			s.evMask |= 1 << uint(k)
+		}
+	}
+
 	hadProg := d.Bool()
 	if d.Err() != nil {
 		return
@@ -294,16 +302,11 @@ func (s *Switch) Restore(d *checkpoint.Decoder) {
 		} else {
 			s.txPkt[p] = nil
 		}
-		pending := d.Bool()
-		at := sim.Time(d.I64())
-		seq := d.U64()
+		s.txDonePend[p] = d.Bool()
+		s.txDoneAt[p] = sim.Time(d.I64())
+		s.txDoneSeq[p] = d.U64()
 		if d.Err() != nil {
 			return
-		}
-		if pending {
-			s.txDoneH[p] = s.sched.RestoreAt(at, seq, s.txDone[p])
-		} else {
-			s.txDoneH[p] = sim.Handle{}
 		}
 	}
 
@@ -311,28 +314,30 @@ func (s *Switch) Restore(d *checkpoint.Decoder) {
 	if d.Err() != nil {
 		return
 	}
-	s.pipeActive = s.pipeActive[:0]
-	s.pipeInFlight = 0
+	s.pipeQ = s.pipeQ[:0]
+	s.pipeHead = 0
 	for i := 0; i < nj; i++ {
 		pkt := restorePacket(d, s.pool)
 		if pkt == nil {
 			return
 		}
-		j := &pipeJob{s: s, pkt: pkt}
-		j.port = d.Int()
-		j.q = d.Int()
-		j.rank = d.U64()
-		j.flowHash = d.U64()
-		at := sim.Time(d.I64())
-		seq := d.U64()
+		var en pipeEntry
+		en.pkt = pkt
+		en.port = d.Int()
+		en.q = d.Int()
+		en.rank = d.U64()
+		en.flowHash = d.U64()
+		en.at = sim.Time(d.I64())
+		en.seq = d.U64()
 		if d.Err() != nil {
 			return
 		}
-		j.idx = len(s.pipeActive)
-		s.pipeActive = append(s.pipeActive, j)
-		s.pipeInFlight++
-		j.h = s.sched.RestoreAtRunner(at, seq, j)
+		s.pipeQ = append(s.pipeQ, en)
 	}
+	// Re-arm the aux lane at the restored conveyor's minimum: the entries
+	// carry their original coordinates, so the resumed schedule fires them
+	// in exactly the uninterrupted order.
+	s.auxArm()
 
 	nt := d.Int()
 	if d.Err() != nil {

@@ -72,6 +72,17 @@ type Config struct {
 	// scheduler lane. Differential tests use it to pin the fast path
 	// against the slow one; results are identical either way.
 	NoDrainFastForward bool
+	// NoBurst disables the burst slot loop for this switch: every
+	// pipeline slot then costs one full scheduler dispatch (lane arm,
+	// next-event scan, lane fire), exactly as before bursting existed.
+	// The per-frame path is the burst path's differential oracle; results
+	// are byte-identical either way.
+	NoBurst bool
+	// BurstSlots caps how many consecutive pipeline slots one cycle-lane
+	// firing may execute before returning to the scheduler (default
+	// DefaultBurstSlots). The cap only bounds latency of the in-callback
+	// loop; any value produces identical simulation output.
+	BurstSlots int
 }
 
 // ForceSlowDrain globally disables the drain fast-forward (as if every
@@ -80,6 +91,18 @@ type Config struct {
 // cycle-by-cycle path exactly. Not for concurrent mutation: set it before
 // building switches.
 var ForceSlowDrain bool
+
+// ForceNoBurst globally disables burst processing (as if every switch
+// were built with NoBurst), and internal/netsim reads it when deciding
+// whether links batch their arrival deliveries. evbench -burst=0 and the
+// burst differential tests flip it to prove the burst datapath replays
+// the per-frame path exactly. Not for concurrent mutation: set it before
+// building switches or networks.
+var ForceNoBurst bool
+
+// DefaultBurstSlots is the default per-wakeup slot budget of the burst
+// loop (Config.BurstSlots). evbench -burst=N overrides it process-wide.
+var DefaultBurstSlots = 64
 
 func (c Config) withDefaults() Config {
 	if c.Ports <= 0 {
@@ -175,6 +198,18 @@ type Switch struct {
 	cycleIdx    uint64
 	cycleLane   *sim.Lane
 	noFF        bool
+	noBurst     bool
+	burstSlots  int
+	// inBurst is set while the burst slot loop (or the aux lane's inline
+	// drain) is executing. While set, the aux lane is kept disarmed and
+	// conveyor mutations skip the arm-if-earlier bookkeeping: the loop
+	// consults auxMin directly with each entry's exact (at, seq), so the
+	// per-entry lane churn would be overwritten before anything could
+	// observe it. Every exit path re-establishes the armed-at-minimum
+	// invariant with auxArm before control returns to the scheduler, and
+	// fastForwardDrain bounds its stretch by auxMin explicitly so the
+	// hidden lane cannot widen the drain horizon.
+	inBurst bool
 
 	// slotNow/slotCycle snapshot the (time, cycle) pair at the top of the
 	// last runCycle. During a drain fast-forward the registers' cycles run
@@ -190,25 +225,50 @@ type Switch struct {
 	rxq        [][]*packet.Packet
 	rxHead     []int
 	rxRR       int
+	rxPending  int // packets queued across rxq (kept so work checks are O(1))
 	recirc     []*packet.Packet
 	lastRecirc bool
 	genq       []*packet.Packet
 
 	evq [events.NumKinds]*events.Queue
+	// evMask has bit k set while evq[k] is non-empty; prioMask has bit k
+	// set for kinds the merger actually drains (cfg.MergerPriority). The
+	// pair makes the per-slot event scan and the wake predicate O(1) when
+	// no events are pending — the common case in burst stretches.
+	evMask   uint32
+	prioMask uint32
 
-	tmgr    *tm.TM
-	linkUp  []bool
-	txBusy  []bool
-	txPkt   []*packet.Packet // packet on the wire per port
-	txDone  []sim.Action     // per-port tx-complete callbacks, built once
-	txDoneH []sim.Handle     // per-port pending tx-complete event (for checkpoints)
-	evSeq   uint64
+	// tmReqs is the scratch vector for bulk TM enqueues (finishSlot's
+	// generated-packet fan-out); tmPkts parallels it. tmResult is the
+	// per-item reaction, bound once so EnqueueN calls allocate nothing.
+	tmReqs   []tm.EnqueueReq
+	tmPkts   []*packet.Packet
+	tmResult func(i int, ok bool)
 
-	emptyPkt     packet.Packet   // reused metadata-carrier slot packet
-	pipeFree     []*pipeJob      // free list of pipeline-latency enqueue jobs
-	pipeActive   []*pipeJob      // jobs between their slot and the TM (for checkpoints)
-	pipeInFlight int             // packets between their slot and the TM
-	egrFree      []*pisa.Context // free list of egress contexts (pump re-enters)
+	tmgr   *tm.TM
+	linkUp []bool
+	txBusy []bool
+	txPkt  []*packet.Packet // packet on the wire per port
+	evSeq  uint64
+
+	// The conveyor: the switch's own future work — pipeline-latency
+	// deliveries to the TM and per-port tx completions — kept out of the
+	// scheduler's heap. Every entry is stamped with the exact (at, seq)
+	// coordinates the equivalent scheduler event would have had (the seq
+	// is drawn from the shared counter at schedule time), and the aux
+	// lane is armed at the earliest entry's coordinates, so firing order
+	// against heap events, wire arrivals, and other lanes is byte-
+	// identical to per-event scheduling. The burst loop fires due entries
+	// inline, skipping the per-event dispatch entirely.
+	pipeQ      []pipeEntry // FIFO in (at, seq): slot → TM deliveries
+	pipeHead   int         // index of the conveyor's earliest entry
+	txDoneAt   []sim.Time  // per-port tx-complete instant
+	txDoneSeq  []uint64    // per-port tx-complete sequence number
+	txDonePend []bool      // per-port tx-complete pending
+	auxLane    *sim.Lane   // fires the earliest conveyor entry
+
+	emptyPkt packet.Packet   // reused metadata-carrier slot packet
+	egrFree  []*pisa.Context // free list of egress contexts (pump re-enters)
 
 	timers []*sim.Ticker
 	gens   []*genTemplate
@@ -242,6 +302,17 @@ func New(cfg Config, arch *Arch, sched *sim.Scheduler) *Switch {
 	cfg = cfg.withDefaults()
 	s := &Switch{cfg: cfg, arch: arch, sched: sched, pool: packet.NewPool()}
 	s.noFF = cfg.NoDrainFastForward || ForceSlowDrain
+	s.noBurst = cfg.NoBurst || ForceNoBurst
+	s.burstSlots = cfg.BurstSlots
+	if s.burstSlots <= 0 {
+		s.burstSlots = DefaultBurstSlots
+	}
+	if s.noBurst || s.burstSlots < 1 {
+		s.burstSlots = 1
+	}
+	for _, k := range cfg.MergerPriority {
+		s.prioMask |= 1 << uint(k)
+	}
 
 	perPortMin := cfg.LineRate.ByteTime(minWireBytes)
 	s.cycleTime = sim.Time(float64(perPortMin) / (float64(cfg.Ports) * cfg.Overspeed))
@@ -250,17 +321,17 @@ func New(cfg Config, arch *Arch, sched *sim.Scheduler) *Switch {
 	}
 
 	s.cycleLane = sched.NewLane(s.runCycle)
+	s.auxLane = sched.NewLane(s.auxRun)
 	s.rxq = make([][]*packet.Packet, cfg.Ports)
 	s.rxHead = make([]int, cfg.Ports)
 	s.linkUp = make([]bool, cfg.Ports)
 	s.txBusy = make([]bool, cfg.Ports)
 	s.txPkt = make([]*packet.Packet, cfg.Ports)
-	s.txDone = make([]sim.Action, cfg.Ports)
-	s.txDoneH = make([]sim.Handle, cfg.Ports)
+	s.txDoneAt = make([]sim.Time, cfg.Ports)
+	s.txDoneSeq = make([]uint64, cfg.Ports)
+	s.txDonePend = make([]bool, cfg.Ports)
 	for i := range s.linkUp {
 		s.linkUp[i] = true
-		port := i
-		s.txDone[i] = func() { s.txComplete(port) }
 	}
 	for k := 0; k < events.NumKinds; k++ {
 		kind := events.Kind(k)
@@ -278,7 +349,23 @@ func New(cfg Config, arch *Arch, sched *sim.Scheduler) *Switch {
 		Discipline:    cfg.Discipline,
 	})
 	s.tmgr.OnEvent = s.tmEvent
+	s.tmResult = s.bulkEnqueueResult
 	return s
+}
+
+// bulkEnqueueResult is finishSlot's per-item EnqueueN reaction: admitted
+// packets start their port's transmitter, rejected ones take the same
+// drop path enqueueOut would have taken.
+func (s *Switch) bulkEnqueueResult(i int, ok bool) {
+	if ok {
+		s.pump(s.tmReqs[i].Port)
+		return
+	}
+	pkt := s.tmPkts[i]
+	if s.OnDrop != nil {
+		s.OnDrop(pkt, "tm-overflow")
+	}
+	pkt.Release()
 }
 
 // Name returns the switch name.
@@ -344,6 +431,9 @@ func (s *Switch) pushEvent(e events.Event) {
 	e.Seq = s.evSeq
 	s.evSeq++
 	out := s.evq[e.Kind].Offer(e)
+	// Whatever the outcome, the FIFO is non-empty now: stored/coalesced
+	// added or updated state, and a drop means it was already full.
+	s.evMask |= 1 << uint(e.Kind)
 	if s.tel != nil {
 		s.tel.ObserveOffer(s.sched.Now(), e, out)
 	}
@@ -389,6 +479,30 @@ func (s *Switch) Inject(port int, data []byte) {
 	s.stats.RxPackets++
 	s.stats.RxBytes += uint64(len(data))
 	s.rxq[port] = append(s.rxq[port], s.pool.GetCopy(data, port))
+	s.rxPending++
+	s.wake()
+}
+
+// InjectBurst delivers a vector of fully received frames to one input
+// port, in order, as if Inject had been called once per frame at the
+// same instant. It is the switch half of the burst datapath: one wire
+// activation hands over a whole arrival burst, one wake arms the
+// pipeline. Frames arriving on a downed link are lost. Each frame is
+// copied into a pooled packet before InjectBurst returns.
+func (s *Switch) InjectBurst(port int, frames [][]byte) {
+	if port < 0 || port >= s.cfg.Ports {
+		panic(fmt.Sprintf("core: inject on invalid port %d", port))
+	}
+	if !s.linkUp[port] {
+		s.stats.RxDropped += uint64(len(frames))
+		return
+	}
+	for _, data := range frames {
+		s.stats.RxPackets++
+		s.stats.RxBytes += uint64(len(data))
+		s.rxq[port] = append(s.rxq[port], s.pool.GetCopy(data, port))
+	}
+	s.rxPending += len(frames)
 	s.wake()
 }
 
@@ -493,24 +607,11 @@ func (s *Switch) TriggerControlEvent(data uint64) {
 // --- the event merger and pipeline ---------------------------------------
 
 func (s *Switch) havePacketWork() bool {
-	if len(s.recirc) > 0 || len(s.genq) > 0 {
-		return true
-	}
-	for p := range s.rxq {
-		if s.rxHead[p] < len(s.rxq[p]) {
-			return true
-		}
-	}
-	return false
+	return s.rxPending > 0 || len(s.recirc) > 0 || len(s.genq) > 0
 }
 
 func (s *Switch) haveEventWork() bool {
-	for _, k := range s.cfg.MergerPriority {
-		if s.evq[k].Len() > 0 {
-			return true
-		}
-	}
-	return false
+	return s.evMask&s.prioMask != 0
 }
 
 func (s *Switch) haveDrainWork() bool {
@@ -548,13 +649,7 @@ func (s *Switch) wake() {
 // the recirculation bandwidth the way real recirculation ports do (a
 // program that recirculates forever cannot starve the wire).
 func (s *Switch) popPacket() (*packet.Packet, events.Kind, bool) {
-	rxPending := false
-	for p := range s.rxq {
-		if s.rxHead[p] < len(s.rxq[p]) {
-			rxPending = true
-			break
-		}
-	}
+	rxPending := s.rxPending > 0
 	if len(s.recirc) > 0 && !(s.lastRecirc && rxPending) {
 		pkt := s.recirc[0]
 		s.recirc = s.recirc[1:]
@@ -562,18 +657,21 @@ func (s *Switch) popPacket() (*packet.Packet, events.Kind, bool) {
 		return pkt, events.RecirculatedPacket, true
 	}
 	s.lastRecirc = false
-	for i := 0; i < s.cfg.Ports; i++ {
-		p := (s.rxRR + i) % s.cfg.Ports
-		if s.rxHead[p] < len(s.rxq[p]) {
-			pkt := s.rxq[p][s.rxHead[p]]
-			s.rxq[p][s.rxHead[p]] = nil
-			s.rxHead[p]++
-			if s.rxHead[p] == len(s.rxq[p]) {
-				s.rxq[p] = s.rxq[p][:0]
-				s.rxHead[p] = 0
+	if rxPending {
+		for i := 0; i < s.cfg.Ports; i++ {
+			p := (s.rxRR + i) % s.cfg.Ports
+			if s.rxHead[p] < len(s.rxq[p]) {
+				pkt := s.rxq[p][s.rxHead[p]]
+				s.rxq[p][s.rxHead[p]] = nil
+				s.rxHead[p]++
+				if s.rxHead[p] == len(s.rxq[p]) {
+					s.rxq[p] = s.rxq[p][:0]
+					s.rxHead[p] = 0
+				}
+				s.rxRR = (p + 1) % s.cfg.Ports
+				s.rxPending--
+				return pkt, events.IngressPacket, true
 			}
-			s.rxRR = (p + 1) % s.cfg.Ports
-			return pkt, events.IngressPacket, true
 		}
 	}
 	if len(s.genq) > 0 {
@@ -584,10 +682,104 @@ func (s *Switch) popPacket() (*packet.Packet, events.Kind, bool) {
 	return nil, 0, false
 }
 
-// runCycle executes one pipeline cycle: the Event Merger forms a slot
-// (packet plus up to one event per kind), the program's handlers run, and
-// the aggregation registers drain with leftover bandwidth.
+// runCycle fires on the cycle lane. It executes one pipeline slot, then —
+// the burst datapath — keeps executing consecutive slots inside the same
+// scheduler callback for as long as it can prove the scheduler would have
+// done nothing in between: work is still pending, no event (packet
+// arrival, tx completion, timer, partition barrier) is due at or before
+// the next slot's instant, and the next slot sits inside the active run
+// horizon. Each proven slot advances the clock with sim.AdvanceTo and
+// runs inline, skipping the lane re-arm, next-event scan, and lane fire
+// that the per-slot path pays per cycle. The slot bodies are identical,
+// every slot still observes the correct Now() and cycle index, and the
+// burst stops the moment the proof fails, so all output is byte-identical
+// to the NoBurst per-slot path (the differential oracle); only absolute —
+// never relative — scheduler sequence numbers differ. A pure drain slot
+// ends the burst: it already fast-forwards the whole drain stretch.
+//
+// Telemetry cycle counts are batched into one probe update per burst;
+// per-slot trace emissions and outcome counters are unchanged, and no
+// sampler can observe the counters mid-callback, so the batching is
+// invisible in all telemetry output.
 func (s *Switch) runCycle() {
+	slots := uint64(0)
+	stop := false
+	if s.burstSlots > 1 {
+		s.inBurst = true
+		s.auxLane.Disarm()
+	}
+	for n := 1; ; n++ {
+		drained := s.runSlot()
+		slots++
+		if drained || n >= s.burstSlots {
+			break
+		}
+		if !s.havePacketWork() && !s.haveEventWork() && !s.haveDrainWork() {
+			break
+		}
+		next := s.nextCycleAt
+		limit, strict := s.sched.RunBound()
+		if next > limit || (strict && next == limit) {
+			break
+		}
+		// Deliver the switch's own conveyor work due before (or at) the
+		// next slot inline: each pipeline-latency delivery or tx completion
+		// whose (at, seq) precedes everything the scheduler holds is
+		// exactly the event the scheduler would fire next, so running it
+		// here — with the clock advanced to its instant — reproduces the
+		// per-event schedule while skipping the dispatch. An entry at the
+		// slot's own instant drew its seq at least one cycle earlier than
+		// any arm of the cycle lane, so conveyor-before-slot is the heap
+		// order too. The moment something else precedes (another switch's
+		// lane, a wire arrival, a timer) or the run horizon intervenes, the
+		// burst ends and the scheduler resumes ordinary dispatch.
+		for {
+			at, seq, txPort, ok := s.auxMin()
+			if !ok || at > next {
+				break
+			}
+			if at > limit || (strict && at == limit) || s.sched.NextBefore(at, seq) {
+				stop = true
+				break
+			}
+			s.sched.AdvanceTo(at)
+			s.auxFire(txPort)
+		}
+		if stop {
+			break
+		}
+		if s.cycleLane.Armed() {
+			// A wake during this slot or an inline conveyor delivery armed
+			// our own cycle lane for the next slot — the firing this loop
+			// is about to perform inline. Take the arm over: with nothing
+			// in the scheduler preceding its exact (at, seq), disarming and
+			// running the slot here reproduces the lane dispatch verbatim.
+			lat, lseq, _ := s.cycleLane.ArmedAt()
+			if lat != next || s.sched.NextBefore(lat, lseq) {
+				break
+			}
+			s.cycleLane.Disarm()
+		} else if na, ok := s.sched.NextAt(); ok && na <= next {
+			break
+		}
+		s.sched.AdvanceTo(next)
+	}
+	if s.inBurst {
+		s.inBurst = false
+		s.auxArm()
+	}
+	if s.tel != nil {
+		s.tel.Cycles.Add(slots)
+	}
+	s.wake()
+}
+
+// runSlot executes one pipeline cycle: the Event Merger forms a slot
+// (packet plus up to one event per kind), the program's handlers run, and
+// the aggregation registers drain with leftover bandwidth. It reports
+// whether the slot was a pure drain cycle (which fast-forwards the whole
+// drain stretch and therefore terminates a burst).
+func (s *Switch) runSlot() (drained bool) {
 	now := s.sched.Now()
 	s.cycleIdx++
 	s.nextCycleAt = now + s.cycleTime
@@ -606,15 +798,24 @@ func (s *Switch) runCycle() {
 	var nEvents int
 	var kinds [events.NumKinds]events.Kind
 	gatherEvents := func() {
+		if s.evMask&s.prioMask == 0 {
+			return
+		}
 		maxEv := s.cfg.MaxEventsPerSlot
 		for _, k := range s.cfg.MergerPriority {
 			if maxEv > 0 && nEvents >= maxEv {
 				break
 			}
+			if s.evMask&(1<<uint(k)) == 0 {
+				continue
+			}
 			if e, ok := s.evq[k].Pop(); ok {
 				slotEvents[nEvents] = e
 				kinds[nEvents] = k
 				nEvents++
+			}
+			if s.evq[k].Len() == 0 {
+				s.evMask &^= 1 << uint(k)
 			}
 		}
 	}
@@ -636,7 +837,6 @@ func (s *Switch) runCycle() {
 	case havePkt:
 		s.stats.PacketSlots++
 		if s.tel != nil {
-			s.tel.Cycles.Inc()
 			s.tel.ObserveSlotStart(now, cycle, pktKind, true)
 		}
 	case nEvents > 0:
@@ -648,14 +848,12 @@ func (s *Switch) runCycle() {
 		pkt = &s.emptyPkt
 		s.stats.EmptySlots++
 		if s.tel != nil {
-			s.tel.Cycles.Inc()
 			s.tel.ObserveSlotStart(now, cycle, pktKind, false)
 		}
 	default:
 		// Pure drain cycle: spare bandwidth applies aggregated updates.
 		s.stats.DrainSlots++
 		if s.tel != nil {
-			s.tel.Cycles.Inc()
 			s.tel.DrainSlots.Inc()
 		}
 		if s.prog != nil {
@@ -664,8 +862,7 @@ func (s *Switch) runCycle() {
 				s.fastForwardDrain(now)
 			}
 		}
-		s.wake()
-		return
+		return true
 	}
 
 	if s.OnSlot != nil {
@@ -716,7 +913,7 @@ func (s *Switch) runCycle() {
 	if s.prog != nil {
 		s.prog.EndCycle()
 	}
-	s.wake()
+	return false
 }
 
 // fastForwardDrain batches a drain-only stretch: having just executed a
@@ -750,6 +947,18 @@ func (s *Switch) fastForwardDrain(now sim.Time) {
 			return
 		}
 		if k := (int64(na-now) - 1) / ct; k < maxK {
+			maxK = k
+		}
+	}
+	// The conveyor is its own horizon source: mid-burst the aux lane is
+	// hidden from NextAt, so consult the entries directly. Outside a burst
+	// the lane is armed at exactly this minimum and the bound repeats the
+	// NextAt clamp verbatim.
+	if at, _, _, ok := s.auxMin(); ok {
+		if at <= now {
+			return
+		}
+		if k := (int64(at-now) - 1) / ct; k < maxK {
 			maxK = k
 		}
 	}
@@ -798,14 +1007,29 @@ func (s *Switch) finishSlot(ctx *pisa.Context, havePkt bool) {
 	for _, e := range ctx.Raised {
 		s.pushEvent(e)
 	}
-	for _, g := range ctx.Generated {
-		s.stats.Generated++
-		pkt := s.pool.GetCopy(g.Data, -1)
-		pkt.Gen = true
-		if g.Port >= 0 && g.Port < s.cfg.Ports {
-			s.enqueueOut(pkt, g.Port, 0, 0, flowHashOf(g.Data))
-		} else {
-			s.genq = append(s.genq, pkt)
+	if len(ctx.Generated) > 0 {
+		// Materialize the slot's generated packets, then hand the ones
+		// with explicit ports to the TM in one bulk call. EnqueueN runs
+		// the per-packet reaction (pump / drop) between items exactly
+		// where a per-packet Enqueue loop would, so event sequence
+		// numbers and transmit timings are unchanged.
+		s.tmReqs = s.tmReqs[:0]
+		s.tmPkts = s.tmPkts[:0]
+		for _, g := range ctx.Generated {
+			s.stats.Generated++
+			pkt := s.pool.GetCopy(g.Data, -1)
+			pkt.Gen = true
+			if g.Port >= 0 && g.Port < s.cfg.Ports {
+				s.tmReqs = append(s.tmReqs, tm.EnqueueReq{
+					Pkt: pkt, Port: g.Port, FlowHash: flowHashOf(g.Data),
+				})
+				s.tmPkts = append(s.tmPkts, pkt)
+			} else {
+				s.genq = append(s.genq, pkt)
+			}
+		}
+		if len(s.tmReqs) > 0 {
+			s.tmgr.EnqueueN(s.tmReqs, s.sched.Now(), s.tmResult)
 		}
 	}
 	if !havePkt {
@@ -842,50 +1066,124 @@ func (s *Switch) finishSlot(ctx *pisa.Context, havePkt bool) {
 	s.enqueueOutDelayed(pkt, ctx.EgressPort, ctx.Queue, ctx.Rank, fh)
 }
 
-// pipeJob carries one packet across the pipeline-latency delay between
-// its slot and the traffic manager. Jobs are pooled on the switch so the
-// per-packet handoff allocates nothing in steady state.
-type pipeJob struct {
-	s              *Switch
+// pipeEntry is one packet riding the pipeline conveyor: the
+// pipeline-latency delay between its slot and the traffic manager. The
+// entry's (at, seq) are the exact coordinates the equivalent scheduler
+// event would have carried — at is slot time + PipelineLatency cycles,
+// seq was drawn from the shared counter when the slot finished — so the
+// conveyor is FIFO in (at, seq) by construction.
+type pipeEntry struct {
 	pkt            *packet.Packet
 	port, q        int
 	rank, flowHash uint64
-	h              sim.Handle // pending delivery event (for checkpoints)
-	idx            int        // position in s.pipeActive
-}
-
-// Run implements sim.Runner: deliver the packet to the traffic manager
-// and return the job to the pool.
-func (j *pipeJob) Run() {
-	s, pkt, port, q, rank, fh := j.s, j.pkt, j.port, j.q, j.rank, j.flowHash
-	j.pkt = nil
-	// Swap-remove from the active list (order there is irrelevant; the
-	// checkpoint sorts by event seq).
-	last := len(s.pipeActive) - 1
-	s.pipeActive[j.idx] = s.pipeActive[last]
-	s.pipeActive[j.idx].idx = j.idx
-	s.pipeActive = s.pipeActive[:last]
-	s.pipeFree = append(s.pipeFree, j)
-	s.pipeInFlight--
-	s.enqueueOut(pkt, port, q, rank, fh)
+	at             sim.Time
+	seq            uint64
 }
 
 // enqueueOutDelayed models the pipeline's depth: the packet reaches the
-// traffic manager PipelineLatency cycles after its slot.
+// traffic manager PipelineLatency cycles after its slot. The handoff is
+// a conveyor append — no heap event, no allocation.
 func (s *Switch) enqueueOutDelayed(pkt *packet.Packet, port, q int, rank, flowHash uint64) {
-	var j *pipeJob
-	if n := len(s.pipeFree); n > 0 {
-		j = s.pipeFree[n-1]
-		s.pipeFree = s.pipeFree[:n-1]
-	} else {
-		j = &pipeJob{s: s}
+	at := s.sched.Now() + sim.Time(s.cfg.PipelineLatency)*s.cycleTime
+	seq := s.sched.NextSeq()
+	s.pipeQ = append(s.pipeQ, pipeEntry{
+		pkt: pkt, port: port, q: q, rank: rank, flowHash: flowHash, at: at, seq: seq,
+	})
+	if s.inBurst {
+		return
 	}
-	j.pkt, j.port, j.q, j.rank, j.flowHash = pkt, port, q, rank, flowHash
-	s.pipeInFlight++
-	j.idx = len(s.pipeActive)
-	s.pipeActive = append(s.pipeActive, j)
-	delay := sim.Time(s.cfg.PipelineLatency) * s.cycleTime
-	j.h = s.sched.AfterRunner(delay, j)
+	if at0, seq0, armed := s.auxLane.ArmedAt(); !armed || at < at0 || (at == at0 && seq < seq0) {
+		s.auxLane.ArmExact(at, seq)
+	}
+}
+
+// auxMin returns the coordinates of the earliest conveyor entry — the
+// pipe head or a pending tx completion — and which one it is (txPort is
+// -1 for the pipe head).
+func (s *Switch) auxMin() (at sim.Time, seq uint64, txPort int, ok bool) {
+	txPort = -1
+	if s.pipeHead < len(s.pipeQ) {
+		e := &s.pipeQ[s.pipeHead]
+		at, seq, ok = e.at, e.seq, true
+	}
+	for p, pend := range s.txDonePend {
+		if pend && (!ok || s.txDoneAt[p] < at || (s.txDoneAt[p] == at && s.txDoneSeq[p] < seq)) {
+			at, seq, txPort, ok = s.txDoneAt[p], s.txDoneSeq[p], p, true
+		}
+	}
+	return at, seq, txPort, ok
+}
+
+// auxArm points the aux lane at the earliest conveyor entry, or disarms
+// it when the conveyor is empty. The invariant — the aux lane is always
+// armed at the conveyor minimum's exact coordinates — is what keeps
+// NextAt, NextBefore, and the drain fast-forward's horizon aware of
+// conveyor work exactly as they were when each entry was a heap event.
+func (s *Switch) auxArm() {
+	if at, seq, _, ok := s.auxMin(); ok {
+		s.auxLane.ArmExact(at, seq)
+	} else {
+		s.auxLane.Disarm()
+	}
+}
+
+// auxFire runs the conveyor entry auxMin identified (the clock is
+// already at its instant) and re-arms the lane at the new minimum.
+func (s *Switch) auxFire(txPort int) {
+	if txPort >= 0 {
+		s.txDonePend[txPort] = false
+		if !s.inBurst {
+			s.auxArm()
+		}
+		s.txComplete(txPort)
+		return
+	}
+	e := &s.pipeQ[s.pipeHead]
+	pkt, port, q, rank, fh := e.pkt, e.port, e.q, e.rank, e.flowHash
+	e.pkt = nil
+	s.pipeHead++
+	if s.pipeHead == len(s.pipeQ) {
+		s.pipeQ = s.pipeQ[:0]
+		s.pipeHead = 0
+	} else if s.pipeHead >= 64 && s.pipeHead*2 >= len(s.pipeQ) {
+		n := copy(s.pipeQ, s.pipeQ[s.pipeHead:])
+		s.pipeQ = s.pipeQ[:n]
+		s.pipeHead = 0
+	}
+	if !s.inBurst {
+		s.auxArm()
+	}
+	s.enqueueOut(pkt, port, q, rank, fh)
+}
+
+// auxRun fires on the aux lane: deliver the entry the lane was armed
+// for, then — burst mode — keep delivering consecutive entries inline
+// while the scheduler holds nothing that precedes them and the run
+// horizon allows it (the same proof the burst slot loop uses). In
+// per-packet oracle mode each dispatch delivers exactly one entry, like
+// the heap events the conveyor replaced.
+func (s *Switch) auxRun() {
+	_, _, txPort, ok := s.auxMin()
+	if !ok {
+		return
+	}
+	if s.noBurst {
+		s.auxFire(txPort)
+		return
+	}
+	s.inBurst = true
+	s.auxFire(txPort)
+	limit, strict := s.sched.RunBound()
+	for {
+		at, seq, txPort, ok := s.auxMin()
+		if !ok || at > limit || (strict && at == limit) || s.sched.NextBefore(at, seq) {
+			break
+		}
+		s.sched.AdvanceTo(at)
+		s.auxFire(txPort)
+	}
+	s.inBurst = false
+	s.auxArm()
 }
 
 func (s *Switch) enqueueOut(pkt *packet.Packet, port, q int, rank, flowHash uint64) {
@@ -966,7 +1264,17 @@ func (s *Switch) pump(port int) {
 	s.txBusy[port] = true
 	s.txPkt[port] = pkt
 	ser := s.cfg.LineRate.ByteTime(pkt.Len() + WireOverhead)
-	s.txDoneH[port] = s.sched.After(ser, s.txDone[port])
+	at := s.sched.Now() + ser
+	seq := s.sched.NextSeq()
+	s.txDoneAt[port] = at
+	s.txDoneSeq[port] = seq
+	s.txDonePend[port] = true
+	if s.inBurst {
+		return
+	}
+	if at0, seq0, armed := s.auxLane.ArmedAt(); !armed || at < at0 || (at == at0 && seq < seq0) {
+		s.auxLane.ArmExact(at, seq)
+	}
 }
 
 // txComplete finishes a port's in-flight transmission: the packet's last
@@ -1040,7 +1348,7 @@ func (s *Switch) Inventory() Inventory {
 	}
 	inv.Recirc = len(s.recirc)
 	inv.GenQueued = len(s.genq)
-	inv.InPipeline = s.pipeInFlight
+	inv.InPipeline = len(s.pipeQ) - s.pipeHead
 	enq, deq, _, _ := s.tmgr.Stats()
 	inv.Buffered = int(enq - deq)
 	for _, pkt := range s.txPkt {

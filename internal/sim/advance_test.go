@@ -1,0 +1,69 @@
+package sim
+
+import "testing"
+
+// TestAdvanceToMovesClock pins the burst-batching primitive: AdvanceTo
+// moves Now forward without firing anything, and events scheduled after
+// the advanced-to instant still fire in order with the clock correct.
+func TestAdvanceToMovesClock(t *testing.T) {
+	s := NewScheduler()
+	var fired []Time
+	s.At(100, func() { fired = append(fired, s.Now()) })
+
+	s.AdvanceTo(40)
+	if s.Now() != 40 {
+		t.Fatalf("Now = %d after AdvanceTo(40), want 40", s.Now())
+	}
+	if len(fired) != 0 {
+		t.Fatalf("AdvanceTo fired %d events, want 0", len(fired))
+	}
+	s.AdvanceTo(40) // advancing to the current instant is a no-op
+	s.Run(200)
+	if len(fired) != 1 || fired[0] != 100 {
+		t.Fatalf("fired = %v, want [100]", fired)
+	}
+
+	// Scheduling relative to an advanced clock uses the new origin.
+	s.AdvanceTo(300)
+	var at Time
+	s.After(10, func() { at = s.Now() })
+	s.Run(400)
+	if at != 310 {
+		t.Fatalf("After(10) from advanced clock fired at %d, want 310", at)
+	}
+}
+
+// TestAdvanceToPastPanics pins the causality guard: moving the clock
+// backwards is the same class of bug as scheduling in the past.
+func TestAdvanceToPastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.AdvanceTo(50)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceTo into the past did not panic")
+		}
+	}()
+	s.AdvanceTo(49)
+}
+
+// TestAdvanceToLaneInterleave pins that a callback advancing the clock
+// between lane firings leaves lane/heap interleaving untouched: work
+// armed before the advance still fires at its armed instant.
+func TestAdvanceToLaneInterleave(t *testing.T) {
+	s := NewScheduler()
+	var order []string
+	lane := s.NewLane(func() { order = append(order, "lane") })
+	s.At(10, func() {
+		lane.ArmAt(30)
+		s.AdvanceTo(20) // burst-style in-callback advance, short of the lane
+		order = append(order, "event")
+	})
+	s.At(30, func() { order = append(order, "heap30") })
+	s.Run(100)
+	// The lane at 30 was armed before the heap event at 30 was scheduled…
+	// but the heap event drew its seq first (At ran at construction), so
+	// heap30 precedes the lane.
+	if len(order) != 3 || order[0] != "event" || order[1] != "heap30" || order[2] != "lane" {
+		t.Fatalf("order = %v, want [event heap30 lane]", order)
+	}
+}

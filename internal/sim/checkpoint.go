@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // This file holds the scheduler-side half of the checkpoint/restore
 // protocol (DESIGN.md §13). Closures in the event heap cannot be
@@ -69,24 +66,8 @@ func (s *Scheduler) restoreEvent(at Time, seq uint64) *schedEvent {
 	ev := s.alloc()
 	ev.at = at
 	ev.seq = seq
-	ev.index = len(s.queue)
-	s.queue = append(s.queue, ev)
-	s.siftUp(ev.index)
+	s.heapPush(ev)
 	return ev
-}
-
-// siftUp restores the heap property after an append, mirroring
-// container/heap.Push without the interface round trip.
-func (s *Scheduler) siftUp(i int) {
-	q := s.queue
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.Less(i, parent) {
-			break
-		}
-		q.Swap(i, parent)
-		i = parent
-	}
 }
 
 // DropFired removes every pending ordinary event strictly ordered before
@@ -115,7 +96,9 @@ func (s *Scheduler) DropFired(at Time, seq uint64) int {
 	for i := range s.queue {
 		s.queue[i].index = i
 	}
-	heap.Init(&s.queue)
+	for i := len(s.queue)/2 - 1; i >= 0; i-- {
+		s.heapSiftDown(i)
+	}
 	for _, ev := range dropped {
 		s.release(ev)
 	}
@@ -148,9 +131,7 @@ func (s *Scheduler) EachWire(visit func(at Time, k1, k2 uint64, fn Action, r Run
 // RestoreArm arms the lane with explicit (at, seq) coordinates from a
 // checkpoint, without drawing from the scheduler's seq counter.
 func (l *Lane) RestoreArm(at Time, seq uint64) {
-	l.at = at
-	l.seq = seq
-	l.armed = true
+	l.ArmExact(at, seq)
 }
 
 // ArmedAt returns the lane's pending (at, seq), for checkpointing.

@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // Action is a callback executed when a scheduled event fires.
 type Action func()
 
@@ -116,31 +114,87 @@ func (h *wireHeap) pop() wireEvent {
 	return top
 }
 
+// eventHeap is a binary min-heap of ordinary events ordered by (at, seq),
+// sifted manually like wireHeap: container/heap dispatches Less/Swap
+// through an interface on every comparison, and the event heap is the
+// single hottest structure in the engine. Each event's index field is
+// kept current on every move — Handle cancellation and checkpoint
+// restore (internal/sim/checkpoint.go) rely on it.
 type eventHeap []*schedEvent
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// heapLess orders events by (at, seq).
+func heapLess(a, b *schedEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// heapSiftUp restores the heap property upward from index i, holding the
+// moving event in a register and shifting parents down (one store per
+// level instead of a full swap).
+func (s *Scheduler) heapSiftUp(i int) {
+	q := s.queue
+	ev := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := q[parent]
+		if !heapLess(ev, p) {
+			break
+		}
+		q[i] = p
+		p.index = i
+		i = parent
+	}
+	q[i] = ev
+	ev.index = i
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*schedEvent)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+
+// heapSiftDown restores the heap property downward from index i.
+func (s *Scheduler) heapSiftDown(i int) {
+	q := s.queue
+	n := len(q)
+	ev := q[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && heapLess(q[r], q[l]) {
+			min = r
+		}
+		if !heapLess(q[min], ev) {
+			break
+		}
+		q[i] = q[min]
+		q[i].index = i
+		i = min
+	}
+	q[i] = ev
+	ev.index = i
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+// heapPush appends ev and sifts it into place.
+func (s *Scheduler) heapPush(ev *schedEvent) {
+	ev.index = len(s.queue)
+	s.queue = append(s.queue, ev)
+	s.heapSiftUp(ev.index)
+}
+
+// heapPopHead removes and returns the heap head.
+func (s *Scheduler) heapPopHead() *schedEvent {
+	q := s.queue
+	ev := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	s.queue = q[:n]
+	if n > 0 {
+		q[0] = last
+		last.index = 0
+		s.heapSiftDown(0)
+	}
 	return ev
 }
 
@@ -165,6 +219,15 @@ type Scheduler struct {
 	// byte-identical to single-threaded runs.
 	runLimit  Time
 	runStrict bool
+
+	// laneBest caches the earliest armed lane so the per-step candidate
+	// scan is O(1) instead of a linear walk over every lane. laneScan
+	// marks the cache stale: arming, disarming, firing, or restoring a
+	// lane that could change the minimum sets it, and the next nextLane
+	// call rescans. When laneScan is false, laneBest is the earliest
+	// armed lane (nil = none armed).
+	laneBest *Lane
+	laneScan bool
 }
 
 // NewScheduler returns a Scheduler with the clock at time zero.
@@ -250,7 +313,7 @@ func (s *Scheduler) schedule(at Time) *schedEvent {
 	ev.at = at
 	ev.seq = s.seq
 	s.seq++
-	heap.Push(&s.queue, ev)
+	s.heapPush(ev)
 	return ev
 }
 
@@ -349,12 +412,57 @@ func (s *Scheduler) NewLane(fn Action) *Lane {
 // Re-arming an armed lane moves its firing time. Arming in the past
 // panics, like At.
 func (l *Lane) ArmAt(at Time) {
-	if at < l.s.now {
+	s := l.s
+	if at < s.now {
 		panic("sim: lane armed in the past")
 	}
+	if !s.laneScan {
+		// Keep the earliest-lane cache coherent: a fresh arm always draws
+		// the highest seq so far, so at equal times the cached best keeps
+		// winning; re-arming the cached best to a later instant is the
+		// only case that forces a rescan.
+		switch b := s.laneBest; {
+		case b == nil:
+			s.laneBest = l
+		case b == l:
+			if at > l.at {
+				s.laneScan = true
+			}
+		case at < b.at:
+			s.laneBest = l
+		}
+	}
 	l.at = at
-	l.seq = l.s.seq
-	l.s.seq++
+	l.seq = s.seq
+	s.seq++
+	l.armed = true
+}
+
+// ArmExact arms the lane at explicit (at, seq) coordinates instead of
+// drawing a fresh sequence number. The caller owns work that already has
+// a position in the global event order — a checkpointed arm being
+// restored, or a conveyor entry that drew its seq (NextSeq) when it was
+// scheduled — and the lane must fire in exactly that position. No
+// past-check is applied: checkpoint restore arms lanes before the clock
+// is restored.
+func (l *Lane) ArmExact(at Time, seq uint64) {
+	s := l.s
+	if !s.laneScan {
+		// Same cache-coherence cases as ArmAt, but the explicit seq can be
+		// older than other arms', so ties compare the full (at, seq) pair.
+		switch b := s.laneBest; {
+		case b == nil:
+			s.laneBest = l
+		case b == l:
+			if at > l.at || (at == l.at && seq > l.seq) {
+				s.laneScan = true
+			}
+		case at < b.at || (at == b.at && seq < b.seq):
+			s.laneBest = l
+		}
+	}
+	l.at = at
+	l.seq = seq
 	l.armed = true
 }
 
@@ -362,10 +470,18 @@ func (l *Lane) ArmAt(at Time) {
 func (l *Lane) Armed() bool { return l.armed }
 
 // Disarm cancels the pending firing, if any.
-func (l *Lane) Disarm() { l.armed = false }
+func (l *Lane) Disarm() {
+	if l.armed && l.s.laneBest == l {
+		l.s.laneScan = true
+	}
+	l.armed = false
+}
 
 // nextLane returns the earliest armed lane, or nil.
 func (s *Scheduler) nextLane() *Lane {
+	if !s.laneScan {
+		return s.laneBest
+	}
 	var best *Lane
 	for _, l := range s.lanes {
 		if !l.armed {
@@ -375,6 +491,8 @@ func (s *Scheduler) nextLane() *Lane {
 			best = l
 		}
 	}
+	s.laneBest = best
+	s.laneScan = false
 	return best
 }
 
@@ -386,7 +504,7 @@ func (s *Scheduler) peekHeap() *schedEvent {
 		if !ev.cancelled {
 			return ev
 		}
-		heap.Pop(&s.queue)
+		s.heapPopHead()
 		s.release(ev)
 	}
 	return nil
@@ -396,7 +514,16 @@ func (s *Scheduler) peekHeap() *schedEvent {
 // its timestamp. At equal timestamps the wire band fires first; ordinary
 // events and lanes then interleave by shared sequence number. It returns
 // false when no events remain.
-func (s *Scheduler) Step() bool {
+func (s *Scheduler) Step() bool { return s.stepBounded(Forever, false) }
+
+// stepBounded is the fused core of Step/Run/RunBefore: one candidate scan
+// (heap head, earliest lane, wire head) picks the winner, checks it
+// against the bound, and fires it. Run's old loop scanned every candidate
+// twice per event — once in NextAt to test the horizon, once in Step to
+// fire — and the scan is the engine's hottest code. It returns false
+// without firing when nothing is pending or the earliest event lies past
+// the bound (at > limit, or at == limit when strict).
+func (s *Scheduler) stepBounded(limit Time, strict bool) bool {
 	ev := s.peekHeap()
 	lane := s.nextLane()
 	// Earliest ordinary candidate (heap event vs lane), resolved by the
@@ -409,8 +536,12 @@ func (s *Scheduler) Step() bool {
 		ordinaryAt = lane.at
 	}
 	if len(s.wire) > 0 && s.wire[0].at <= ordinaryAt {
+		at := s.wire[0].at
+		if at > limit || (strict && at == limit) {
+			return false
+		}
 		w := s.wire.pop()
-		s.now = w.at
+		s.now = at
 		s.fired++
 		if w.runner != nil {
 			w.runner.Run()
@@ -423,7 +554,10 @@ func (s *Scheduler) Step() bool {
 	case ev == nil && lane == nil:
 		return false
 	case evWins:
-		heap.Pop(&s.queue)
+		if ev.at > limit || (strict && ev.at == limit) {
+			return false
+		}
+		s.heapPopHead()
 		s.now = ev.at
 		fn, runner := ev.fn, ev.runner
 		s.release(ev)
@@ -434,12 +568,62 @@ func (s *Scheduler) Step() bool {
 			fn()
 		}
 	default:
+		if lane.at > limit || (strict && lane.at == limit) {
+			return false
+		}
 		lane.armed = false
+		s.laneScan = true
 		s.now = lane.at
 		s.fired++
 		lane.fn()
 	}
 	return true
+}
+
+// AdvanceTo moves the clock forward to at without firing anything. It is
+// the batching primitive for in-callback burst loops (the switch's burst
+// slot loop): a callback that has proven — via NextAt and RunBound — that
+// nothing is pending in (Now, at] may advance the clock itself and do the
+// work that a chain of self-scheduled events would have done one wakeup
+// at a time, with Now() correct at every step. Advancing past a pending
+// event would reorder causality, exactly like scheduling in the past, so
+// the same discipline applies: callers check NextAt first. Advancing
+// backwards panics.
+func (s *Scheduler) AdvanceTo(at Time) {
+	if at < s.now {
+		panic("sim: AdvanceTo into the past")
+	}
+	s.now = at
+}
+
+// NextSeq draws and consumes the next sequence number from the shared
+// insertion counter without scheduling anything. It is the conveyor
+// primitive: a component that manages its own future-work FIFO (the
+// switch's pipeline conveyor) stamps each entry with the seq the
+// equivalent After call would have drawn, so the entry keeps an exact
+// position in the global event order without ever touching the heap.
+func (s *Scheduler) NextSeq() uint64 {
+	n := s.seq
+	s.seq++
+	return n
+}
+
+// NextBefore reports whether any pending event — wire band, heap, or
+// armed lane — precedes the coordinate (at, seq): wire events by time
+// alone (the wire band fires before ordinary work at equal instants),
+// ordinary events and lanes by exact (at, seq). A conveyor owner calls
+// it to prove its next entry is precisely what the scheduler would fire
+// next, and may then run the entry inline. A lane armed exactly at
+// (at, seq) — the conveyor's own — does not precede it.
+func (s *Scheduler) NextBefore(at Time, seq uint64) bool {
+	if len(s.wire) > 0 && s.wire[0].at <= at {
+		return true
+	}
+	if ev := s.peekHeap(); ev != nil && (ev.at < at || (ev.at == at && ev.seq < seq)) {
+		return true
+	}
+	l := s.nextLane()
+	return l != nil && (l.at < at || (l.at == at && l.seq < seq))
 }
 
 // NextAt returns the time of the earliest pending event and whether one
@@ -467,12 +651,7 @@ func (s *Scheduler) Run(until Time) uint64 {
 	start := s.fired
 	s.halted = false
 	s.runLimit, s.runStrict = until, false
-	for !s.halted {
-		at, ok := s.NextAt()
-		if !ok || at > until {
-			break
-		}
-		s.Step()
+	for !s.halted && s.stepBounded(until, false) {
 	}
 	s.runLimit, s.runStrict = Forever, false
 	if s.now < until {
@@ -491,12 +670,7 @@ func (s *Scheduler) RunBefore(limit Time) uint64 {
 	start := s.fired
 	s.halted = false
 	s.runLimit, s.runStrict = limit, true
-	for !s.halted {
-		at, ok := s.NextAt()
-		if !ok || at >= limit {
-			break
-		}
-		s.Step()
+	for !s.halted && s.stepBounded(limit, true) {
 	}
 	s.runLimit, s.runStrict = Forever, false
 	return s.fired - start
