@@ -1,18 +1,28 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench evbench bench-json bench-smoke bench-diff burst-smoke check-backends telemetry-smoke crash-smoke
+.PHONY: check vet lint build test race fuzz bench evbench bench-json bench-smoke bench-diff burst-smoke check-backends telemetry-smoke crash-smoke obs-smoke
 
 # The gate everything must pass: static checks, a full build, the test
 # suite, the concurrency-sensitive packages (parallel experiment
 # harness, partitioned engine, fault injection) under the race detector,
 # an end-to-end telemetry export check, the µP4 backend differential
 # check, the burst-datapath differential check, the crash-injection
-# checkpoint/restore harness, and a perf regression diff against the
-# committed baseline.
-check: vet build test race telemetry-smoke check-backends burst-smoke crash-smoke bench-diff
+# checkpoint/restore harness, the observability-plane read-only check,
+# and a perf regression diff against the committed baseline.
+check: lint build test race telemetry-smoke check-backends burst-smoke crash-smoke obs-smoke bench-diff
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet always; staticcheck when installed (the CI
+# image may not ship it — the gate degrades to vet-only with a notice
+# rather than failing on a missing tool).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, ran go vet only"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -21,12 +31,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/bench -run 'TestParallel|TestResilience|TestDomain|TestScale|TestTelemetry|TestFastForward|TestUP4|TestTrialPanic|TestJournal|TestBurst'
+	$(GO) test -race ./internal/bench -run 'TestParallel|TestResilience|TestDomain|TestScale|TestTelemetry|TestFastForward|TestUP4|TestTrialPanic|TestJournal|TestBurst|TestObs'
 	$(GO) test -race ./internal/sim -run 'TestPartition|TestAtWire|TestRunBefore|TestAdvanceTo'
 	$(GO) test -race ./internal/netsim -run 'TestPartitioned|TestScheduleLinkChange|TestCrossDomain|TestBurst'
 	$(GO) test -race ./internal/core -run 'TestBurst|TestSwitchBurst'
 	$(GO) test -race ./internal/faults
 	$(GO) test -race ./internal/checkpoint
+	$(GO) test -race ./internal/telemetry ./internal/telemetry/self ./internal/obs
 
 # Coverage-guided fuzzing: the fault-schedule parser/validator and the
 # µP4 compiled-vs-interpreter differential target. Not part of `check`
@@ -101,3 +112,15 @@ telemetry-smoke:
 	cmp /tmp/evtel.d1.jsonl /tmp/evtel.d2.jsonl
 	cmp /tmp/evtel.d1.json /tmp/evtel.d2.json
 	@echo "telemetry-smoke: exports valid and -domains 1 == -domains 2"
+
+# Observability-plane read-only check: the scale campaign with the HTTP
+# introspection endpoint + streaming telemetry enabled must render a
+# byte-identical table to a plain run at -parallel 8 -domains 2, with a
+# live mid-run scrape seeing non-zero barrier-stall and burst-occupancy
+# self-metrics (TestObsSmoke), plus the harness-level export-identity
+# and streamed-file checks.
+obs-smoke:
+	$(GO) test ./cmd/evbench -run TestObsSmoke -count 1
+	$(GO) test ./internal/bench -run TestObsStreamingIdentical -count 1
+	$(GO) test ./cmd/tracecheck -count 1
+	@echo "obs-smoke: observability plane is read-only"

@@ -18,6 +18,17 @@
 //	evbench -exp scale -resume scale.journal
 //	                                 # campaign resumption: completed trials are
 //	                                 # journaled and skipped on the next run
+//	evbench -exp scale -http 127.0.0.1:9100
+//	                                 # live introspection: /metrics (Prometheus),
+//	                                 # /status (JSON), /debug/pprof
+//	evbench -exp hula -stream-trace live.jsonl -stream-metrics live-metrics.jsonl
+//	                                 # stream telemetry to disk during the run
+//	evbench -blockprofile b.pprof -mutexprofile m.pprof
+//	                                 # runtime contention profiles
+//
+// The observability plane (-http, -stream-*) is read-only: tables, BENCH
+// json digests, and trace/metrics exports are byte-identical with it on
+// or off, at every -parallel and -domains setting.
 //
 // -trace writes the event-lifecycle trace (Chrome/Perfetto trace-event
 // JSON, or JSON lines when the file ends in .jsonl); -metrics writes the
@@ -50,11 +61,14 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/p4"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/self"
 )
 
 const (
@@ -79,6 +93,16 @@ func run(args []string, out, errw io.Writer) int {
 		"write BENCH_<experiment>.json reports into `dir`")
 	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to `file`")
 	memprofile := fs.String("memprofile", "", "write allocation profile to `file`")
+	blockprofile := fs.String("blockprofile", "", "write goroutine blocking profile to `file`")
+	mutexprofile := fs.String("mutexprofile", "", "write mutex contention profile to `file`")
+	httpAddr := fs.String("http", "",
+		"serve the introspection endpoint (/metrics, /status, /debug/pprof) on `addr`")
+	streamTrace := fs.String("stream-trace", "",
+		"stream trace records incrementally to `file` during the run (.json/.trace = Chrome array, else JSONL); needs -exp")
+	streamMetrics := fs.String("stream-metrics", "",
+		"stream one metrics-document line per flush to `file` during the run; needs -exp")
+	streamEvery := fs.Duration("stream-every", 500*time.Millisecond,
+		"wall-clock flush period for -stream-trace/-stream-metrics")
 	traceFile := fs.String("trace", "",
 		"write the event-lifecycle trace to `file` (.jsonl = JSON lines, else Chrome JSON); needs -exp")
 	metricsFile := fs.String("metrics", "",
@@ -116,9 +140,10 @@ func run(args []string, out, errw io.Writer) int {
 		core.DefaultBurstSlots = *burst
 	}
 
-	telemetryOn := *traceFile != "" || *metricsFile != ""
+	streaming := *streamTrace != "" || *streamMetrics != ""
+	telemetryOn := *traceFile != "" || *metricsFile != "" || streaming
 	if telemetryOn && *exp == "" {
-		fmt.Fprintln(errw, "evbench: -trace/-metrics need -exp (one experiment per export)")
+		fmt.Fprintln(errw, "evbench: -trace/-metrics/-stream-* need -exp (one experiment per export)")
 		return exitUsage
 	}
 	if *resume != "" && *exp == "" {
@@ -141,11 +166,59 @@ func run(args []string, out, errw io.Writer) int {
 		todo = bench.All()
 	}
 
+	// The observability plane (self-metrics, live collectors, HTTP
+	// endpoint, streaming sink) is observation-only: turning any of it on
+	// never changes a byte of tables, digests, or trace files (pinned by
+	// TestObsStreamingIdentical / TestObsSmoke).
+	obsOn := *httpAddr != "" || streaming
+	if obsOn {
+		self.Enable()
+	}
 	if telemetryOn {
 		bench.EnableTelemetry(telemetry.Options{
 			TraceCap:     telemetry.DefaultTraceCap,
 			SamplePeriod: telemetry.DefaultSamplePeriod,
+			Live:         obsOn,
 		})
+	}
+
+	var srv *obs.Server
+	if *httpAddr != "" {
+		var err error
+		srv, err = obs.Serve(obs.Options{
+			Addr: *httpAddr,
+			Runs: bench.TelemetryRuns,
+			Status: func() map[string]any {
+				return map[string]any{
+					"binary":   "evbench",
+					"exp":      *exp,
+					"parallel": *par,
+					"pdomains": *domains,
+				}
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(errw, "evbench: %v\n", err)
+			return exitRuntime
+		}
+		defer srv.Close()
+		fmt.Fprintf(errw, "evbench: introspection endpoint on http://%s\n", srv.Addr())
+	}
+
+	var sink *telemetry.StreamSink
+	if streaming {
+		var err error
+		sink, err = telemetry.NewStreamSink(telemetry.StreamOptions{
+			TracePath:   *streamTrace,
+			MetricsPath: *streamMetrics,
+			Interval:    *streamEvery,
+		})
+		if err != nil {
+			fmt.Fprintf(errw, "evbench: %v\n", err)
+			return exitRuntime
+		}
+		bench.AttachStreamSink(sink)
+		defer bench.AttachStreamSink(nil)
 	}
 
 	if *cpuprofile != "" {
@@ -160,6 +233,12 @@ func run(args []string, out, errw io.Writer) int {
 			return exitRuntime
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *blockprofile != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if *mutexprofile != "" {
+		runtime.SetMutexProfileFraction(1)
 	}
 
 	if *resume != "" {
@@ -199,6 +278,21 @@ func run(args []string, out, errw io.Writer) int {
 		}
 	}
 
+	if sink != nil {
+		// Final flush before the post-run exports, so the streamed files
+		// cover every record and close cleanly (Chrome array terminator).
+		if err := sink.Close(); err != nil {
+			fmt.Fprintf(errw, "evbench: %v\n", err)
+			return exitRuntime
+		}
+		if *streamTrace != "" {
+			fmt.Fprintf(errw, "evbench: streamed %s\n", *streamTrace)
+		}
+		if *streamMetrics != "" {
+			fmt.Fprintf(errw, "evbench: streamed %s\n", *streamMetrics)
+		}
+	}
+
 	if *traceFile != "" {
 		if err := bench.WriteTelemetryTrace(*traceFile); err != nil {
 			fmt.Fprintf(errw, "evbench: %v\n", err)
@@ -221,11 +315,39 @@ func run(args []string, out, errw io.Writer) int {
 			return exitRuntime
 		}
 		defer f.Close()
+		// A final GC before the heap profile so the allocation picture
+		// shows live retention, not garbage awaiting collection.
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			fmt.Fprintf(errw, "evbench: %v\n", err)
 			return exitRuntime
 		}
 	}
+	if err := writeLookupProfile("block", *blockprofile); err != nil {
+		fmt.Fprintf(errw, "evbench: %v\n", err)
+		return exitRuntime
+	}
+	if err := writeLookupProfile("mutex", *mutexprofile); err != nil {
+		fmt.Fprintf(errw, "evbench: %v\n", err)
+		return exitRuntime
+	}
 	return exitOK
+}
+
+// writeLookupProfile writes a named runtime profile (block, mutex) to
+// path; a no-op when path is empty.
+func writeLookupProfile(name, path string) error {
+	if path == "" {
+		return nil
+	}
+	p := pprof.Lookup(name)
+	if p == nil {
+		return fmt.Errorf("no %s profile", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return p.WriteTo(f, 0)
 }

@@ -9,6 +9,8 @@
 //	evsim -burst 0                   # per-packet datapath (burst differential oracle)
 //	evsim -ms 10 -checkpoint-every 1ms -checkpoint run.ckpt
 //	evsim -ms 10 -checkpoint-every 1ms -resume run.ckpt
+//	evsim -ms 10 -http 127.0.0.1:9100   # /metrics, /status, /debug/pprof
+//	evsim -ms 10 -stream-trace t.jsonl -stream-metrics m.jsonl -stream-every 250ms
 //
 // With -p4, the given µP4 program is compiled and loaded instead of the
 // built-in port-pairing forwarder (ports are paired 0<->1, 2<->3 there).
@@ -23,6 +25,16 @@
 // run's. A resume must use the same flags as the run that wrote the
 // checkpoint — the file carries a config digest and mismatches are
 // refused (see DESIGN.md §13).
+//
+// -http serves a read-only introspection endpoint while the run is in
+// flight: Prometheus-text self-metrics and the latest deterministic
+// snapshot on /metrics, a JSON progress document on /status, and the
+// standard pprof handlers under /debug/pprof. -stream-trace and
+// -stream-metrics flush trace records and metrics-document lines to disk
+// incrementally on a wall-clock cadence (-stream-every). The whole
+// observability plane is observation-only: statistics, telemetry
+// exports, digests, and checkpoints are byte-identical with it on or
+// off (DESIGN.md §15).
 //
 // Exit codes: 0 on success, 1 on runtime failure (unreadable files,
 // compile errors, write failures), 2 on usage errors (bad flags, a
@@ -41,11 +53,13 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/events"
+	"repro/internal/obs"
 	"repro/internal/p4"
 	"repro/internal/packet"
 	"repro/internal/pisa"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/self"
 	"repro/internal/workload"
 )
 
@@ -92,9 +106,23 @@ type config struct {
 	ckptEvery sim.Time
 	ckptPath  string
 	resume    string
+
+	// Observability plane: read-only, so none of these affect simulation
+	// behaviour — but streaming needs a collector, so the stream paths
+	// participate in telemetryOn (and through it the config digest).
+	httpAddr      string
+	streamTrace   string
+	streamMetrics string
+	streamEvery   time.Duration
 }
 
-func (c *config) telemetryOn() bool { return c.traceFile != "" || c.metrics != "" }
+func (c *config) telemetryOn() bool {
+	return c.traceFile != "" || c.metrics != "" || c.streaming()
+}
+
+func (c *config) streaming() bool { return c.streamTrace != "" || c.streamMetrics != "" }
+
+func (c *config) obsOn() bool { return c.httpAddr != "" || c.streaming() }
 
 // digest fingerprints the behaviour-affecting configuration. The
 // checkpoint and trace file paths are deliberately excluded: they change
@@ -144,6 +172,14 @@ func run(args []string, out, errw io.Writer) int {
 		"write a checkpoint every simulated `interval` (e.g. 500us, 2ms; empty = off)")
 	ckptPath := fs.String("checkpoint", "", "checkpoint `file` (required with -checkpoint-every)")
 	resume := fs.String("resume", "", "resume from checkpoint `file` instead of starting fresh")
+	httpAddr := fs.String("http", "",
+		"serve the introspection endpoint (/metrics, /status, /debug/pprof) on `addr`")
+	streamTrace := fs.String("stream-trace", "",
+		"stream trace records incrementally to `file` during the run (.json/.trace = Chrome array, else JSONL)")
+	streamMetrics := fs.String("stream-metrics", "",
+		"stream one metrics-document line per flush to `file` during the run")
+	streamEvery := fs.Duration("stream-every", 500*time.Millisecond,
+		"wall-clock flush period for -stream-trace/-stream-metrics")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return exitOK
@@ -157,6 +193,8 @@ func run(args []string, out, errw io.Writer) int {
 		p4file: *p4file, interp: *interp, burst: *burst, seed: *seed, trace: *trace,
 		traceFile: *traceFile, metrics: *metricsFile,
 		ckptPath: *ckptPath, resume: *resume,
+		httpAddr: *httpAddr, streamTrace: *streamTrace,
+		streamMetrics: *streamMetrics, streamEvery: *streamEvery,
 	}
 	if err := finishConfig(cfg, *ckptEvery); err != nil {
 		fmt.Fprintf(errw, "evsim: %v\n", err)
@@ -294,6 +332,7 @@ func build(cfg *config, start bool, out io.Writer) (*simState, error) {
 		st.tel = telemetry.New(telemetry.Options{
 			TraceCap:     telemetry.DefaultTraceCap,
 			SamplePeriod: telemetry.DefaultSamplePeriod,
+			Live:         cfg.obsOn(),
 		})
 		st.sw.EnableTelemetry(st.tel)
 	}
@@ -371,9 +410,65 @@ func simulate(cfg *config, out, errw io.Writer) error {
 		}
 	}
 
+	// Observability plane: started after build/restore (so checkpoint
+	// restoration's single-threaded writes finish before any scrape) and
+	// strictly read-only — stats, telemetry exports, and checkpoints are
+	// byte-identical with it on or off.
+	if cfg.obsOn() {
+		self.Enable()
+	}
+	if cfg.httpAddr != "" {
+		srv, err := obs.Serve(obs.Options{
+			Addr: cfg.httpAddr,
+			Runs: func() []telemetry.RunExport {
+				if st.tel == nil {
+					return nil
+				}
+				return []telemetry.RunExport{{Label: "evsim", C: st.tel}}
+			},
+			Status: func() map[string]any {
+				return map[string]any{
+					"binary":        "evsim",
+					"arch":          cfg.archName,
+					"config_digest": fmt.Sprintf("%#x", cfg.digest()),
+					"horizon_ps":    int64(horizon),
+				}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(errw, "evsim: introspection endpoint on http://%s\n", srv.Addr())
+	}
+	var sink *telemetry.StreamSink
+	if cfg.streaming() {
+		var err error
+		sink, err = telemetry.NewStreamSink(telemetry.StreamOptions{
+			TracePath:   cfg.streamTrace,
+			MetricsPath: cfg.streamMetrics,
+			Interval:    cfg.streamEvery,
+		})
+		if err != nil {
+			return err
+		}
+		sink.Attach("evsim", st.tel)
+	}
+
 	st.sched.Run(horizon + 2*sim.Millisecond)
 	if ck != nil && ck.err != nil {
 		return fmt.Errorf("writing checkpoint: %w", ck.err)
+	}
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			return fmt.Errorf("closing stream sink: %w", err)
+		}
+		if cfg.streamTrace != "" {
+			fmt.Fprintf(errw, "evsim: streamed %s\n", cfg.streamTrace)
+		}
+		if cfg.streamMetrics != "" {
+			fmt.Fprintf(errw, "evsim: streamed %s\n", cfg.streamMetrics)
+		}
 	}
 
 	if st.tel != nil {

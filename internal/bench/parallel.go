@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry/self"
 )
 
 // parallelism is the worker-pool width used by RunParallel. It defaults
@@ -48,6 +50,9 @@ func Parallelism() int { return int(parallelism.Load()) }
 // trials already recorded in the active Journal survive for the next
 // -resume.
 func RunParallel[T any](n int, fn func(trial int) T) []T {
+	if self.On() {
+		self.TrialsTotal.Add(uint64(n))
+	}
 	run := fn
 	if j := currentJournal(); j != nil {
 		call := j.nextCall()
@@ -61,6 +66,14 @@ func RunParallel[T any](n int, fn func(trial int) T) []T {
 		}
 	} else {
 		run = func(trial int) T { return runTrial(fn, trial) }
+	}
+	if self.On() {
+		inner := run
+		run = func(trial int) T {
+			v := inner(trial)
+			self.TrialsDone.Inc()
+			return v
+		}
 	}
 	out := make([]T, n)
 	workers := Parallelism()

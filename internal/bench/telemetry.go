@@ -19,6 +19,7 @@ var telState struct {
 	on   bool
 	opts telemetry.Options
 	runs []telemetry.RunExport
+	sink *telemetry.StreamSink
 }
 
 // EnableTelemetry arms per-trial collection for instrumented experiments
@@ -55,6 +56,20 @@ func ResetTelemetryRuns() {
 	telState.runs = nil
 }
 
+// AttachStreamSink registers a streaming sink: every collector created by
+// trialCollector from now on is attached to it, so traces and metric
+// snapshots land on disk while trials run. The caller must have enabled
+// telemetry with Options.Live (the sink's collectors are read from a
+// wall-clock goroutine). Pass nil to detach.
+func AttachStreamSink(sk *telemetry.StreamSink) {
+	telState.mu.Lock()
+	defer telState.mu.Unlock()
+	if sk != nil && !telState.opts.Live {
+		panic("bench: AttachStreamSink needs EnableTelemetry with Options.Live")
+	}
+	telState.sink = sk
+}
+
 // trialCollector returns a fresh collector registered under label, or nil
 // when telemetry is off. Labels must be derived from the trial index
 // ("<exp>/t00"), never from completion order; RunParallel workers may
@@ -67,6 +82,9 @@ func trialCollector(label string) *telemetry.Collector {
 	}
 	c := telemetry.New(telState.opts)
 	telState.runs = append(telState.runs, telemetry.RunExport{Label: label, C: c})
+	if telState.sink != nil {
+		telState.sink.Attach(label, c)
+	}
 	return c
 }
 

@@ -5,6 +5,9 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"time"
+
+	"repro/internal/telemetry/self"
 )
 
 // Magic identifies a checkpoint file ("EVCK").
@@ -113,13 +116,15 @@ func Decode(buf []byte) (*File, error) {
 // (or SIGKILL) mid-write leaves either the previous checkpoint or none —
 // never a torn file.
 func (f *File) WriteFile(path string) error {
+	start := time.Now()
+	buf := f.Encode()
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(f.Encode()); err != nil {
+	if _, err := tmp.Write(buf); err != nil {
 		tmp.Close()
 		return fmt.Errorf("checkpoint: write %s: %w", tmp.Name(), err)
 	}
@@ -132,6 +137,11 @@ func (f *File) WriteFile(path string) error {
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	if self.On() {
+		self.CheckpointWriteNS.Observe(uint64(time.Since(start).Nanoseconds()))
+		self.CheckpointBytes.Add(uint64(len(buf)))
+		self.CheckpointLastUnixNS.Set(time.Now().UnixNano())
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/pisa"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/self"
 	"repro/internal/tm"
 )
 
@@ -770,6 +771,9 @@ func (s *Switch) runCycle() {
 	}
 	if s.tel != nil {
 		s.tel.Cycles.Add(slots)
+	}
+	if self.On() {
+		self.BurstOcc.Observe(slots)
 	}
 	s.wake()
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/packet"
 	"repro/internal/sim"
+	"repro/internal/telemetry/self"
 )
 
 // endpoint is one side of a link.
@@ -711,6 +712,7 @@ func (n *Network) arrive(l *Link, dir int, data []byte) {
 // is also where spent flights are recycled back to the senders' free
 // lists.
 func (n *Network) drainMail() {
+	obs := self.On()
 	for _, l := range n.links {
 		if !l.cross {
 			continue
@@ -726,6 +728,9 @@ func (n *Network) drainMail() {
 			box := l.mail[dir]
 			if len(box) == 0 {
 				continue
+			}
+			if obs {
+				self.MailFrames.Add(uint64(len(box)))
 			}
 			dst := l.sched[1-dir]
 			key := l.wireKey(dir)

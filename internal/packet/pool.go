@@ -1,5 +1,7 @@
 package packet
 
+import "repro/internal/telemetry/self"
+
 // Pool is a DPDK-mempool-style recycling arena for Packets and their frame
 // buffers. A Get/GetCopy hands out a packet whose Data slice reuses the
 // capacity left behind by an earlier Release, so a steady-state
@@ -46,9 +48,15 @@ func (pl *Pool) Get() *Packet {
 		p.Recirc = 0
 		p.freed = false
 		pl.Reuses++
+		if self.On() {
+			self.PoolInUse.Add(1)
+		}
 		return p
 	}
 	pl.News++
+	if self.On() {
+		self.PoolInUse.Add(1)
+	}
 	return &Packet{pool: pl}
 }
 
@@ -87,6 +95,9 @@ func (p *Packet) Release() {
 	p.freed = true
 	p.gen++
 	pl.free = append(pl.free, p)
+	if self.On() {
+		self.PoolInUse.Add(-1)
+	}
 }
 
 // Pooled reports whether the packet came from a Pool.

@@ -3,6 +3,9 @@ package sim
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry/self"
 )
 
 // Partition is a conservative (Chandy–Misra style) parallel driver for a
@@ -96,16 +99,33 @@ func (p *Partition) workers(fired *atomic.Uint64, winWG *sync.WaitGroup) []chan 
 	for i, s := range p.scheds {
 		ch := make(chan windowCmd, 1)
 		cmds[i] = ch
-		go func(s *Scheduler, ch chan windowCmd) {
+		go func(domain int, s *Scheduler, ch chan windowCmd) {
+			// Barrier-stall accounting: a domain that finishes its window
+			// early sits blocked on ch until every other domain reaches the
+			// barrier and the coordinator issues the next window. The time
+			// between winWG.Done and the next command arriving is this
+			// domain's stall — the load-imbalance number the ROADMAP's
+			// -domains scaling item needs. Wall-clock only; never observed
+			// by simulation code.
+			var idleSince time.Time
 			for c := range ch {
+				if obs := self.On(); obs && !idleSince.IsZero() {
+					self.DomainStallNS(domain).Add(uint64(time.Since(idleSince).Nanoseconds()))
+				}
 				if c.incl {
 					fired.Add(s.Run(c.edge))
 				} else {
 					fired.Add(s.RunBefore(c.edge))
 				}
+				if self.On() {
+					self.DomainWindows(domain).Inc()
+					idleSince = time.Now()
+				} else {
+					idleSince = time.Time{}
+				}
 				winWG.Done()
 			}
-		}(s, ch)
+		}(i, s, ch)
 	}
 	return cmds
 }
@@ -129,10 +149,18 @@ func (p *Partition) Run(until Time) uint64 {
 		p.windows++
 		n := p.scheds[0].Run(until)
 		p.barrier()
+		if self.On() {
+			self.SetDomains(1)
+			self.DomainWindows(0).Inc()
+			self.SimNowPS.Set(int64(until))
+		}
 		return n
 	}
 	if p.lookahead <= 0 {
 		panic("sim: partition with multiple domains needs a positive lookahead")
+	}
+	if self.On() {
+		self.SetDomains(len(p.scheds))
 	}
 	var fired atomic.Uint64
 	var winWG sync.WaitGroup
@@ -169,10 +197,16 @@ func (p *Partition) Run(until Time) uint64 {
 		}
 		p.windows++
 		runWindow(edge, false)
+		if self.On() {
+			self.SimNowPS.Set(int64(edge))
+		}
 	}
 	p.windows++
 	runWindow(until, true)
 	p.barrier()
+	if self.On() {
+		self.SimNowPS.Set(int64(until))
+	}
 	return fired.Load()
 }
 

@@ -1,5 +1,7 @@
 package sim
 
+import "repro/internal/telemetry/self"
+
 // Action is a callback executed when a scheduled event fires.
 type Action func()
 
@@ -210,6 +212,16 @@ type Scheduler struct {
 	free   []*schedEvent
 	fired  uint64
 	halted bool
+
+	// laneArms/auxArms count ArmAt and ArmExact calls; together with
+	// fired they feed the wall-clock self-metrics plane. They are plain
+	// fields bumped on the single-threaded hot path and published as
+	// deltas only at Run/RunBefore/RunAll exit (publishSelf), so the
+	// per-event cost of observability is zero — not even an atomic.
+	laneArms, auxArms uint64
+	// pub* are the values already published to the self plane; the next
+	// publishSelf adds only the difference.
+	pubFired, pubLaneArms, pubAuxArms uint64
 
 	// runLimit/runStrict record the horizon of the Run/RunBefore call in
 	// progress (Forever/false outside any run). Event callbacks that can
@@ -436,6 +448,7 @@ func (l *Lane) ArmAt(at Time) {
 	l.seq = s.seq
 	s.seq++
 	l.armed = true
+	s.laneArms++
 }
 
 // ArmExact arms the lane at explicit (at, seq) coordinates instead of
@@ -464,6 +477,7 @@ func (l *Lane) ArmExact(at Time, seq uint64) {
 	l.at = at
 	l.seq = seq
 	l.armed = true
+	s.auxArms++
 }
 
 // Armed reports whether the lane has a pending firing.
@@ -643,6 +657,28 @@ func (s *Scheduler) NextAt() (Time, bool) {
 	return at, ok
 }
 
+// publishSelf pushes the delta of fired/arm counts accumulated since the
+// last publish into the wall-clock self-metrics plane. Called at run
+// exits only; a no-op when the plane is off. Checkpoint restore can move
+// fired backwards — a shrunken counter resets the baseline rather than
+// publishing a wrapped delta.
+func (s *Scheduler) publishSelf() {
+	if !self.On() {
+		s.pubFired, s.pubLaneArms, s.pubAuxArms = s.fired, s.laneArms, s.auxArms
+		return
+	}
+	if s.fired > s.pubFired {
+		self.SchedDispatch.Add(s.fired - s.pubFired)
+	}
+	if s.laneArms > s.pubLaneArms {
+		self.SchedLaneArms.Add(s.laneArms - s.pubLaneArms)
+	}
+	if s.auxArms > s.pubAuxArms {
+		self.SchedAuxArms.Add(s.auxArms - s.pubAuxArms)
+	}
+	s.pubFired, s.pubLaneArms, s.pubAuxArms = s.fired, s.laneArms, s.auxArms
+}
+
 // Run executes events until the queue drains or the clock would pass
 // until. The clock is left at the later of its current value and until
 // (unless the queue drained earlier, in which case it rests at the last
@@ -657,6 +693,7 @@ func (s *Scheduler) Run(until Time) uint64 {
 	if s.now < until {
 		s.now = until
 	}
+	s.publishSelf()
 	return s.fired - start
 }
 
@@ -673,6 +710,7 @@ func (s *Scheduler) RunBefore(limit Time) uint64 {
 	for !s.halted && s.stepBounded(limit, true) {
 	}
 	s.runLimit, s.runStrict = Forever, false
+	s.publishSelf()
 	return s.fired - start
 }
 
@@ -691,6 +729,7 @@ func (s *Scheduler) RunAll() uint64 {
 	s.halted = false
 	for !s.halted && s.Step() {
 	}
+	s.publishSelf()
 	return s.fired - start
 }
 

@@ -17,30 +17,71 @@ package telemetry
 import (
 	"math/bits"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
+// Live mode: a collector built with Options.Live switches every
+// instrument from plain single-writer fields to atomic operations and
+// guards registry/stream bookkeeping with mutexes, so a wall-clock
+// observer (the streaming sink, the HTTP introspection endpoint) can
+// read mid-run without racing the simulation domains. The branch costs
+// one predictable bool test per operation and the atomic path performs
+// the same arithmetic, so final exports are byte-identical with live
+// mode on or off — the observability plane observes, never perturbs.
+// The hot path stays allocation-free in both modes.
+
 // Counter is a monotonically increasing metric. It is owned by a single
-// simulation domain; Add is a plain field increment.
-type Counter struct{ v uint64 }
+// simulation domain; Add is a plain field increment (an atomic add in
+// live mode).
+type Counter struct {
+	v    uint64
+	live bool
+}
 
 // Add increments the counter by n.
-func (c *Counter) Add(n uint64) { c.v += n }
+func (c *Counter) Add(n uint64) {
+	if c.live {
+		atomic.AddUint64(&c.v, n)
+		return
+	}
+	c.v += n
+}
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.v++ }
+func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 { return c.v }
+func (c *Counter) Value() uint64 {
+	if c.live {
+		return atomic.LoadUint64(&c.v)
+	}
+	return c.v
+}
 
 // Gauge is a point-in-time value (an occupancy, a depth). Set overwrites;
 // the exported value is the last one set.
-type Gauge struct{ v int64 }
+type Gauge struct {
+	v    int64
+	live bool
+}
 
 // Set records the gauge's current value.
-func (g *Gauge) Set(v int64) { g.v = v }
+func (g *Gauge) Set(v int64) {
+	if g.live {
+		atomic.StoreInt64(&g.v, v)
+		return
+	}
+	g.v = v
+}
 
 // Value returns the last value set.
-func (g *Gauge) Value() int64 { return g.v }
+func (g *Gauge) Value() int64 {
+	if g.live {
+		return atomic.LoadInt64(&g.v)
+	}
+	return g.v
+}
 
 // HistBuckets is the number of fixed log2 histogram buckets: bucket 0
 // holds the value 0 and bucket i (1..64) holds values v with
@@ -54,10 +95,22 @@ type Histogram struct {
 	count   uint64
 	sum     uint64
 	max     uint64
+	live    bool
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(v uint64) {
+	if h.live {
+		atomic.AddUint64(&h.buckets[bits.Len64(v)], 1)
+		atomic.AddUint64(&h.count, 1)
+		atomic.AddUint64(&h.sum, v)
+		for {
+			cur := atomic.LoadUint64(&h.max)
+			if v <= cur || atomic.CompareAndSwapUint64(&h.max, cur, v) {
+				return
+			}
+		}
+	}
 	h.buckets[bits.Len64(v)]++
 	h.count++
 	h.sum += v
@@ -67,22 +120,42 @@ func (h *Histogram) Observe(v uint64) {
 }
 
 // Count returns the number of samples observed.
-func (h *Histogram) Count() uint64 { return h.count }
+func (h *Histogram) Count() uint64 {
+	if h.live {
+		return atomic.LoadUint64(&h.count)
+	}
+	return h.count
+}
 
 // Sum returns the sum of all samples.
-func (h *Histogram) Sum() uint64 { return h.sum }
+func (h *Histogram) Sum() uint64 {
+	if h.live {
+		return atomic.LoadUint64(&h.sum)
+	}
+	return h.sum
+}
 
 // Max returns the largest sample observed (0 when empty).
-func (h *Histogram) Max() uint64 { return h.max }
+func (h *Histogram) Max() uint64 {
+	if h.live {
+		return atomic.LoadUint64(&h.max)
+	}
+	return h.max
+}
 
 // Bucket returns the count in bucket i.
-func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+func (h *Histogram) Bucket(i int) uint64 {
+	if h.live {
+		return atomic.LoadUint64(&h.buckets[i])
+	}
+	return h.buckets[i]
+}
 
 // MaxBucket returns the index of the highest non-empty bucket, or -1 when
 // the histogram is empty.
 func (h *Histogram) MaxBucket() int {
 	for i := HistBuckets - 1; i >= 0; i-- {
-		if h.buckets[i] != 0 {
+		if h.Bucket(i) != 0 {
 			return i
 		}
 	}
@@ -135,6 +208,12 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+
+	// live guards the maps with mu and marks every instrument live, so
+	// wall-clock observers can create/read instruments concurrently with
+	// the run. Set via SetLive before the run starts.
+	live bool
+	mu   sync.Mutex
 }
 
 // NewRegistry returns an empty registry.
@@ -146,59 +225,105 @@ func NewRegistry() *Registry {
 	}
 }
 
+// SetLive switches the registry (and every instrument it already holds
+// or will create) to live mode. Call during single-threaded setup.
+func (r *Registry) SetLive() {
+	r.live = true
+	for _, c := range r.counters {
+		c.live = true
+	}
+	for _, g := range r.gauges {
+		g.live = true
+	}
+	for _, h := range r.hists {
+		h.live = true
+	}
+}
+
+// Live reports whether the registry is in live mode.
+func (r *Registry) Live() bool { return r.live }
+
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
+	if r.live {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
 	if c, ok := r.counters[name]; ok {
 		return c
 	}
-	c := &Counter{}
+	c := &Counter{live: r.live}
 	r.counters[name] = c
 	return c
 }
 
 // Gauge returns the named gauge, creating it on first use.
 func (r *Registry) Gauge(name string) *Gauge {
+	if r.live {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
 	if g, ok := r.gauges[name]; ok {
 		return g
 	}
-	g := &Gauge{}
+	g := &Gauge{live: r.live}
 	r.gauges[name] = g
 	return g
 }
 
 // Histogram returns the named histogram, creating it on first use.
 func (r *Registry) Histogram(name string) *Histogram {
+	if r.live {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
 	if h, ok := r.hists[name]; ok {
 		return h
 	}
-	h := &Histogram{}
+	h := &Histogram{live: r.live}
 	r.hists[name] = h
 	return h
 }
 
 // Len returns the number of registered instruments.
 func (r *Registry) Len() int {
+	if r.live {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
 	return len(r.counters) + len(r.gauges) + len(r.hists)
 }
 
 // Snapshot returns every instrument's state sorted by name (type breaks
 // the tie), so two registries built by the same run always export
 // byte-identical metric lists regardless of map iteration order.
+//
+// In live mode a snapshot may be taken mid-run: each field is read
+// atomically, and a histogram's Count is derived as the sum of its
+// bucket reads so the count-equals-bucket-sum invariant holds even when
+// the snapshot lands between an Observe's bucket and count increments.
+// At quiescence (final export) the derived count equals the stored one,
+// so live mode never changes exported bytes.
 func (r *Registry) Snapshot() []Metric {
-	out := make([]Metric, 0, r.Len())
+	if r.live {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
 	for name, c := range r.counters {
-		out = append(out, Metric{Name: name, Type: "counter", Value: int64(c.v)})
+		out = append(out, Metric{Name: name, Type: "counter", Value: int64(c.Value())})
 	}
 	for name, g := range r.gauges {
-		out = append(out, Metric{Name: name, Type: "gauge", Value: g.v})
+		out = append(out, Metric{Name: name, Type: "gauge", Value: g.Value()})
 	}
 	for name, h := range r.hists {
-		m := Metric{Name: name, Type: "histogram", Count: h.count, Sum: h.sum, Max: h.max}
+		m := Metric{Name: name, Type: "histogram", Sum: h.Sum(), Max: h.Max()}
 		for i := 0; i < HistBuckets; i++ {
-			if h.buckets[i] != 0 {
+			if n := h.Bucket(i); n != 0 {
 				m.Buckets = append(m.Buckets, Bucket{
-					Low: BucketLow(i), High: BucketHigh(i), Count: h.buckets[i],
+					Low: BucketLow(i), High: BucketHigh(i), Count: n,
 				})
+				m.Count += n
 			}
 		}
 		out = append(out, m)

@@ -1,0 +1,304 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry/self"
+)
+
+// StreamSink incrementally flushes trace records and metric snapshots to
+// disk while the run executes, so long campaigns leave observable output
+// before they finish (the ROADMAP's evsimd item: stream telemetry
+// incrementally instead of post-run). A sink drains each attached
+// collector's trace rings on a wall-clock ticker (or whenever the host
+// calls Flush, e.g. from a sim-time Every callback), writing:
+//
+//   - trace records as JSONL lines with exactly the EncodeJSONL schema
+//     (run/stream/ts_ps/stage/kind/outcome/seq/arg), or as an
+//     incrementally-grown Chrome trace-event array when the path ends in
+//     ".json" / ".trace";
+//   - one compact "evbench-metrics/v1" document per flush as a JSONL
+//     line in the metrics file.
+//
+// Both outputs are append-only, so a crash mid-flush leaves at most one
+// torn final record — the same tolerance contract as bench.Journal, and
+// what cmd/tracecheck's truncated-file mode accepts. Collectors attached
+// to a sink must be built with Options.Live; draining never disturbs the
+// rings, so the run's post-run exports are byte-identical with a sink
+// attached or not.
+type StreamSink struct {
+	mu      sync.Mutex
+	entries []sinkEntry
+
+	traceW   *bufio.Writer
+	traceF   *os.File
+	chrome   bool
+	wroteAny bool // chrome: whether a first event needs no leading comma
+	metricsW *bufio.Writer
+	metricsF *os.File
+
+	buf    []Rec
+	ticker *time.Ticker
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+	err    error
+}
+
+type sinkEntry struct {
+	label string
+	c     *Collector
+	pid   int // Chrome "process" id: distinguishes same-id streams across collectors
+}
+
+// StreamOptions configures a StreamSink.
+type StreamOptions struct {
+	// TracePath receives trace records; empty disables trace streaming.
+	// A ".json" or ".trace" suffix selects the incremental Chrome array
+	// format, anything else JSONL.
+	TracePath string
+	// MetricsPath receives one metrics-document line per flush; empty
+	// disables metric streaming.
+	MetricsPath string
+	// Interval is the wall-clock flush period for Start; 0 means the
+	// host drives flushes itself via Flush.
+	Interval time.Duration
+}
+
+// chromePath reports whether path selects the Chrome array format.
+func chromePath(path string) bool {
+	return strings.HasSuffix(path, ".json") || strings.HasSuffix(path, ".trace")
+}
+
+// NewStreamSink opens the output files. At least one path must be set.
+func NewStreamSink(opts StreamOptions) (*StreamSink, error) {
+	if opts.TracePath == "" && opts.MetricsPath == "" {
+		return nil, fmt.Errorf("telemetry: stream sink needs a trace or metrics path")
+	}
+	sk := &StreamSink{done: make(chan struct{})}
+	if opts.TracePath != "" {
+		f, err := os.Create(opts.TracePath)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: %w", err)
+		}
+		sk.traceF = f
+		sk.traceW = bufio.NewWriter(f)
+		sk.chrome = chromePath(opts.TracePath)
+		if sk.chrome {
+			sk.traceW.WriteString("[\n")
+		}
+	}
+	if opts.MetricsPath != "" {
+		f, err := os.Create(opts.MetricsPath)
+		if err != nil {
+			if sk.traceF != nil {
+				sk.traceF.Close()
+			}
+			return nil, fmt.Errorf("telemetry: %w", err)
+		}
+		sk.metricsF = f
+		sk.metricsW = bufio.NewWriter(f)
+	}
+	if opts.Interval > 0 {
+		sk.ticker = time.NewTicker(opts.Interval)
+		sk.wg.Add(1)
+		go func() {
+			defer sk.wg.Done()
+			for {
+				select {
+				case <-sk.done:
+					return
+				case <-sk.ticker.C:
+					sk.Flush()
+				}
+			}
+		}()
+	}
+	return sk, nil
+}
+
+// Attach registers a labelled collector with the sink. The collector
+// must be in live mode (Options.Live). Safe to call while the sink is
+// flushing — trials attach as they start.
+func (sk *StreamSink) Attach(label string, c *Collector) {
+	if !c.Registry().Live() {
+		panic("telemetry: StreamSink.Attach needs a live collector (Options.Live)")
+	}
+	sk.mu.Lock()
+	sk.entries = append(sk.entries, sinkEntry{label, c, len(sk.entries)})
+	sk.mu.Unlock()
+}
+
+// Flush drains every attached collector's streams and writes one metrics
+// snapshot line. Serialized internally; safe from any goroutine.
+func (sk *StreamSink) Flush() error {
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	return sk.flushLocked()
+}
+
+func (sk *StreamSink) flushLocked() error {
+	if sk.err != nil {
+		return sk.err
+	}
+	// Stable order: label, then stream creation order within a collector.
+	entries := append([]sinkEntry(nil), sk.entries...)
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].label < entries[j].label })
+	var wrote uint64
+	for _, e := range entries {
+		t := e.c.Tracer()
+		if t == nil || sk.traceW == nil {
+			continue
+		}
+		streams := t.Streams()
+		for _, s := range streams {
+			var lost uint64
+			sk.buf, lost = s.DrainNew(sk.buf[:0])
+			if lost > 0 {
+				self.StreamLost.Add(lost)
+			}
+			for _, rec := range sk.buf {
+				if err := sk.writeRec(e, s, rec); err != nil {
+					sk.err = err
+					return err
+				}
+				wrote++
+			}
+		}
+	}
+	if sk.metricsW != nil {
+		if err := sk.writeMetricsLine(entries); err != nil {
+			sk.err = err
+			return err
+		}
+	}
+	if sk.traceW != nil {
+		if err := sk.traceW.Flush(); err != nil {
+			sk.err = err
+			return err
+		}
+	}
+	if sk.metricsW != nil {
+		if err := sk.metricsW.Flush(); err != nil {
+			sk.err = err
+			return err
+		}
+	}
+	self.StreamFlushes.Inc()
+	self.StreamRecords.Add(wrote)
+	return nil
+}
+
+// jsonlRec mirrors EncodeJSONL's per-line schema exactly, so streamed
+// and post-run JSONL traces are line-compatible.
+type jsonlRec struct {
+	Run     string `json:"run"`
+	Stream  string `json:"stream"`
+	TsPs    int64  `json:"ts_ps"`
+	Stage   string `json:"stage"`
+	Kind    string `json:"kind"`
+	Outcome string `json:"outcome,omitempty"`
+	Seq     uint64 `json:"seq"`
+	Arg     uint64 `json:"arg"`
+}
+
+func (sk *StreamSink) writeRec(e sinkEntry, s *Stream, rec Rec) error {
+	if sk.chrome {
+		ev := chromeEvent{
+			Name: recName(flatRec{Rec: rec}), Ph: "i", S: "t",
+			Ts:  float64(rec.At) / 1e6,
+			Pid: e.pid, Tid: int(s.id),
+			Args: recArgs(flatRec{Rec: rec}),
+		}
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if sk.wroteAny {
+			sk.traceW.WriteString(",\n")
+		}
+		sk.wroteAny = true
+		_, err = sk.traceW.Write(b)
+		return err
+	}
+	b, err := json.Marshal(jsonlRec{
+		Run: e.label, Stream: s.Name(),
+		TsPs: int64(rec.At), Stage: rec.Stg.String(),
+		Kind: kindName(rec.Kind), Outcome: rec.Out.String(),
+		Seq: rec.Seq, Arg: rec.Arg,
+	})
+	if err != nil {
+		return err
+	}
+	sk.traceW.Write(b)
+	return sk.traceW.WriteByte('\n')
+}
+
+// writeMetricsLine appends one compact metrics document line covering
+// every attached collector's current snapshot.
+func (sk *StreamSink) writeMetricsLine(entries []sinkEntry) error {
+	doc := metricsDoc{Schema: MetricsSchema, Runs: []metricsRun{}}
+	for _, e := range entries {
+		mr := metricsRun{Label: e.label, Metrics: e.c.Registry().Snapshot()}
+		if t := e.c.Tracer(); t != nil {
+			mr.TraceRecords = t.Emitted()
+			mr.TraceDropped = t.Dropped()
+		}
+		doc.Runs = append(doc.Runs, mr)
+	}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	sk.metricsW.Write(b)
+	return sk.metricsW.WriteByte('\n')
+}
+
+// Close performs a final flush, terminates the Chrome array cleanly, and
+// closes the files. Call after the run quiesces and before post-run
+// exports, so every emitted record lands in the streamed files.
+func (sk *StreamSink) Close() error {
+	sk.mu.Lock()
+	if sk.closed {
+		sk.mu.Unlock()
+		return sk.err
+	}
+	sk.closed = true
+	close(sk.done)
+	if sk.ticker != nil {
+		sk.ticker.Stop()
+	}
+	sk.mu.Unlock()
+	sk.wg.Wait()
+
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	sk.flushLocked()
+	if sk.traceW != nil {
+		if sk.chrome {
+			sk.traceW.WriteString("\n]\n")
+		}
+		if err := sk.traceW.Flush(); err != nil && sk.err == nil {
+			sk.err = err
+		}
+		if err := sk.traceF.Close(); err != nil && sk.err == nil {
+			sk.err = err
+		}
+	}
+	if sk.metricsW != nil {
+		if err := sk.metricsW.Flush(); err != nil && sk.err == nil {
+			sk.err = err
+		}
+		if err := sk.metricsF.Close(); err != nil && sk.err == nil {
+			sk.err = err
+		}
+	}
+	return sk.err
+}

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -107,6 +108,14 @@ type Stream struct {
 	name string
 	ring []Rec
 	n    uint64 // total records emitted (>= len(ring) once wrapped)
+
+	// live mode (streaming sink or HTTP observer attached): mu guards
+	// ring/n/flushed so a wall-clock drainer can read concurrently with
+	// the owning domain's Emits. flushed counts records already handed
+	// to DrainNew.
+	live    bool
+	mu      sync.Mutex
+	flushed uint64
 }
 
 // Name returns the stream name.
@@ -114,23 +123,72 @@ func (s *Stream) Name() string { return s.name }
 
 // Emit appends one record, overwriting the oldest when the ring is full.
 func (s *Stream) Emit(at sim.Time, stg Stage, kind uint8, out Outcome, seq, arg uint64) {
+	if s.live {
+		s.mu.Lock()
+		s.ring[s.n%uint64(len(s.ring))] = Rec{At: at, Seq: seq, Arg: arg, Kind: kind, Stg: stg, Out: out}
+		s.n++
+		s.mu.Unlock()
+		return
+	}
 	s.ring[s.n%uint64(len(s.ring))] = Rec{At: at, Seq: seq, Arg: arg, Kind: kind, Stg: stg, Out: out}
 	s.n++
 }
 
 // Emitted returns the total number of records emitted.
-func (s *Stream) Emitted() uint64 { return s.n }
+func (s *Stream) Emitted() uint64 {
+	if s.live {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	return s.n
+}
 
 // Dropped returns how many records were overwritten by ring wrap-around.
 func (s *Stream) Dropped() uint64 {
+	if s.live {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	return s.droppedLocked()
+}
+
+func (s *Stream) droppedLocked() uint64 {
 	if s.n <= uint64(len(s.ring)) {
 		return 0
 	}
 	return s.n - uint64(len(s.ring))
 }
 
+// DrainNew appends to dst every record emitted since the previous drain
+// that is still retained, oldest-first, and returns the extended slice
+// plus the number of records lost — emitted and already overwritten
+// before this drain could see them. It is the streaming sink's read
+// primitive; safe to call concurrently with Emit only in live mode.
+// Draining never disturbs the ring, so post-run exports are unaffected.
+func (s *Stream) DrainNew(dst []Rec) ([]Rec, uint64) {
+	if s.live {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	start := s.flushed
+	var lost uint64
+	if over := s.droppedLocked(); over > start {
+		lost = over - start
+		start = over
+	}
+	for i := start; i < s.n; i++ {
+		dst = append(dst, s.ring[i%uint64(len(s.ring))])
+	}
+	s.flushed = s.n
+	return dst, lost
+}
+
 // records returns the retained records oldest-first.
 func (s *Stream) records() []Rec {
+	if s.live {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	if s.n <= uint64(len(s.ring)) {
 		return s.ring[:s.n]
 	}
@@ -148,6 +206,11 @@ func (s *Stream) records() []Rec {
 type Tracer struct {
 	perStream int
 	streams   []*Stream
+
+	// live guards stream creation/listing with mu and marks new streams
+	// live; see Registry.SetLive.
+	live bool
+	mu   sync.Mutex
 }
 
 // NewTracer builds a tracer whose streams each retain up to perStream
@@ -159,27 +222,48 @@ func NewTracer(perStream int) *Tracer {
 	return &Tracer{perStream: perStream}
 }
 
+// SetLive switches the tracer and its streams (existing and future) to
+// live mode. Call during single-threaded setup.
+func (t *Tracer) SetLive() {
+	t.live = true
+	for _, s := range t.streams {
+		s.live = true
+	}
+}
+
 // Stream creates (or returns) the named stream. Stream ids are assigned
 // in creation order.
 func (t *Tracer) Stream(name string) *Stream {
+	if t.live {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+	}
 	for _, s := range t.streams {
 		if s.name == name {
 			return s
 		}
 	}
-	s := &Stream{id: int32(len(t.streams)), name: name, ring: make([]Rec, t.perStream)}
+	s := &Stream{id: int32(len(t.streams)), name: name, ring: make([]Rec, t.perStream), live: t.live}
 	t.streams = append(t.streams, s)
 	return s
 }
 
-// Streams lists the streams in creation order.
-func (t *Tracer) Streams() []*Stream { return t.streams }
+// Streams lists the streams in creation order (a copy in live mode, so
+// callers can iterate while another goroutine creates streams).
+func (t *Tracer) Streams() []*Stream {
+	if t.live {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		return append([]*Stream(nil), t.streams...)
+	}
+	return t.streams
+}
 
 // Emitted returns the total records emitted across all streams.
 func (t *Tracer) Emitted() uint64 {
 	var n uint64
-	for _, s := range t.streams {
-		n += s.n
+	for _, s := range t.Streams() {
+		n += s.Emitted()
 	}
 	return n
 }
@@ -187,7 +271,7 @@ func (t *Tracer) Emitted() uint64 {
 // Dropped returns the total records lost to ring wrap-around.
 func (t *Tracer) Dropped() uint64 {
 	var n uint64
-	for _, s := range t.streams {
+	for _, s := range t.Streams() {
 		n += s.Dropped()
 	}
 	return n
@@ -205,16 +289,17 @@ type flatRec struct {
 // deterministic content and the deterministic stream creation order. No
 // goroutine interleaving can affect it.
 func (t *Tracer) merged() []flatRec {
+	streams := t.Streams()
 	var total int
-	for _, s := range t.streams {
-		n := s.n
+	for _, s := range streams {
+		n := s.Emitted()
 		if n > uint64(len(s.ring)) {
 			n = uint64(len(s.ring))
 		}
 		total += int(n)
 	}
 	out := make([]flatRec, 0, total)
-	for _, s := range t.streams {
+	for _, s := range streams {
 		for _, r := range s.records() {
 			out = append(out, flatRec{Rec: r, stream: s.id})
 		}
