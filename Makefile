@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint build test race fuzz bench evbench bench-json bench-smoke bench-diff burst-smoke check-backends telemetry-smoke crash-smoke obs-smoke
+.PHONY: check vet lint build test race fuzz bench evbench bench-json bench-smoke bench-diff burst-smoke check-backends telemetry-smoke crash-smoke obs-smoke scale-smoke
 
 # The gate everything must pass: static checks, a full build, the test
 # suite, the concurrency-sensitive packages (parallel experiment
@@ -8,8 +8,9 @@ GO ?= go
 # an end-to-end telemetry export check, the µP4 backend differential
 # check, the burst-datapath differential check, the crash-injection
 # checkpoint/restore harness, the observability-plane read-only check,
-# and a perf regression diff against the committed baseline.
-check: lint build test race telemetry-smoke check-backends burst-smoke crash-smoke obs-smoke bench-diff
+# the fat-tree partitioned-digest smoke, and a perf regression diff
+# against the committed baseline.
+check: lint build test race telemetry-smoke check-backends burst-smoke crash-smoke obs-smoke scale-smoke bench-diff
 
 vet:
 	$(GO) vet ./...
@@ -30,9 +31,12 @@ build:
 test:
 	$(GO) test ./...
 
+# The full scale sweep (TestScale*) is excluded here: its k=8 fat tree
+# is minutes under the race detector on one core. scale-smoke runs the
+# reduced fat tree race-checked instead.
 race:
-	$(GO) test -race ./internal/bench -run 'TestParallel|TestResilience|TestDomain|TestScale|TestTelemetry|TestFastForward|TestUP4|TestTrialPanic|TestJournal|TestBurst|TestObs'
-	$(GO) test -race ./internal/sim -run 'TestPartition|TestAtWire|TestRunBefore|TestAdvanceTo'
+	$(GO) test -race ./internal/bench -run 'TestParallel|TestResilience|TestDomain|TestTelemetry|TestFastForward|TestUP4|TestTrialPanic|TestJournal|TestBurst|TestObs'
+	$(GO) test -race ./internal/sim -run 'TestPartition|TestAtWire|TestRunBefore|TestAdvanceTo|TestBatched|TestSlimState'
 	$(GO) test -race ./internal/netsim -run 'TestPartitioned|TestScheduleLinkChange|TestCrossDomain|TestBurst'
 	$(GO) test -race ./internal/core -run 'TestBurst|TestSwitchBurst'
 	$(GO) test -race ./internal/faults
@@ -101,6 +105,14 @@ check-backends:
 crash-smoke:
 	$(GO) test ./cmd/evsim -run 'TestCrashSIGKILLResume|TestResumeByteIdentical|TestExitCodes' -count 1
 	@echo "crash-smoke: SIGKILL + resume is byte-identical"
+
+# Partitioned-scaling smoke: a reduced k=4 fat tree under the race
+# detector, digest-diffed between -domains 1 and -domains 4 (adaptive
+# and classic fixed-width windows). The fast version of the full scale
+# sweep's byte-identity claim.
+scale-smoke:
+	$(GO) test -race ./internal/bench -run TestFatTreeScaleSmoke -count 1
+	@echo "scale-smoke: fat-tree digests identical at -domains 1 and 4"
 
 # End-to-end telemetry check: export trace + metrics from an
 # instrumented experiment, schema-validate both with tracecheck, and

@@ -9,7 +9,11 @@
 //
 // Below the aggregates it diffs the per-sample cycles-per-second rows,
 // matched by (label, domains): rows present only in the new report (the
-// burst-off oracle rows, for example) are listed as "new".
+// burst-off oracle rows, for example) are listed as "new". Samples
+// carrying a per_core_efficiency value (speedup over min(domains,
+// num_cpu) usable cores) get an eff column, and a matched multi-domain
+// row whose speedup fell below 0.7x of the old report's is a scaling
+// regression: reported on stderr and exits non-zero.
 //
 // The deterministic experiment table embedded in each report is also
 // compared: a perf optimization must not change a single cell, so a table
@@ -75,11 +79,31 @@ type perfKey struct {
 	domains int
 }
 
+// speedupFloor is the matched-row scaling gate: a new speedup below this
+// fraction of the old one fails the diff.
+const speedupFloor = 0.7
+
+// annotate renders a sample's scaling columns: per-core efficiency and,
+// where recorded, the barrier reduction over classic fixed windows.
+func annotate(p bench.PerfSample) string {
+	s := ""
+	if p.Efficiency > 0 {
+		s += fmt.Sprintf("  eff=%.2f", p.Efficiency)
+	}
+	if p.BarrierReduction > 0 {
+		s += fmt.Sprintf("  barriers=%.2fx", p.BarrierReduction)
+	}
+	return s
+}
+
 // diffPerf prints per-sample cycles-per-second deltas, matching new
-// samples against old ones by (label, domains) occurrence order.
-func diffPerf(oldRep, newRep *bench.Report) {
+// samples against old ones by (label, domains) occurrence order. It
+// returns false when a matched multi-domain row's speedup regressed
+// below speedupFloor of the old report's.
+func diffPerf(oldRep, newRep *bench.Report) bool {
+	ok := true
 	if len(newRep.Perf) == 0 {
-		return
+		return ok
 	}
 	oldByKey := make(map[perfKey][]bench.PerfSample)
 	for _, p := range oldRep.Perf {
@@ -90,12 +114,20 @@ func diffPerf(oldRep, newRep *bench.Report) {
 		k := perfKey{p.Label, p.Domains}
 		name := fmt.Sprintf("  %s d%d", p.Label, p.Domains)
 		if olds := oldByKey[k]; len(olds) > 0 {
-			row(name, olds[0].CyclesPerSec, p.CyclesPerSec, "", false)
+			old := olds[0]
+			row(name+annotate(p), old.CyclesPerSec, p.CyclesPerSec, "", false)
+			if p.Domains > 1 && old.Speedup > 0 && p.Speedup > 0 && p.Speedup < speedupFloor*old.Speedup {
+				fmt.Fprintf(os.Stderr,
+					"benchdiff: SCALING REGRESSION: %s d%d speedup %.2fx -> %.2fx (below %.0f%% of old)\n",
+					p.Label, p.Domains, old.Speedup, p.Speedup, 100*speedupFloor)
+				ok = false
+			}
 			oldByKey[k] = olds[1:]
 		} else {
-			fmt.Printf("%-14s %18s -> %-18s (new)\n", name, "-", fmtNum(p.CyclesPerSec, ""))
+			fmt.Printf("%-14s %18s -> %-18s (new)%s\n", name, "-", fmtNum(p.CyclesPerSec, ""), annotate(p))
 		}
 	}
+	return ok
 }
 
 // diffPair compares one OLD/NEW report pair and reports whether the
@@ -113,9 +145,7 @@ func diffPair(oldPath, newPath string) bool {
 	if oldRep.CyclesPerSec > 0 || newRep.CyclesPerSec > 0 {
 		row("cycles_per_sec", oldRep.CyclesPerSec, newRep.CyclesPerSec, "", false)
 	}
-	diffPerf(oldRep, newRep)
-
-	ok := true
+	ok := diffPerf(oldRep, newRep)
 	if oldRep.Table != newRep.Table {
 		fmt.Fprintln(os.Stderr, "benchdiff: DETERMINISTIC TABLE CHANGED — this is not a pure perf change")
 		ok = false

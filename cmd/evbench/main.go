@@ -7,6 +7,7 @@
 //	evbench -list                    # list experiment ids
 //	evbench -parallel 8              # 8 worker goroutines per experiment
 //	evbench -domains 4               # split topologies across 4 partition domains
+//	evbench -domains auto            # one domain per core, load-aware switch assignment
 //	evbench -interp                  # run µP4 programs under the interpreter oracle
 //	evbench -burst 0                 # per-packet datapath (burst differential oracle)
 //	evbench -burst 128               # wider burst slot budget per pipeline wakeup
@@ -87,8 +88,8 @@ func run(args []string, out, errw io.Writer) int {
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	par := fs.Int("parallel", bench.Parallelism(),
 		"worker goroutines for experiment trials (0 = GOMAXPROCS)")
-	domains := fs.Int("domains", bench.Domains(),
-		"partition domains for topology experiments (intra-trial parallelism)")
+	domains := fs.String("domains", "",
+		"partition domains for topology experiments (intra-trial parallelism): a count, or \"auto\" for one per core with load-aware switch assignment")
 	benchjson := fs.String("benchjson", "",
 		"write BENCH_<experiment>.json reports into `dir`")
 	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to `file`")
@@ -131,7 +132,12 @@ func run(args []string, out, errw io.Writer) int {
 		*par = runtime.GOMAXPROCS(0)
 	}
 	bench.SetParallelism(*par)
-	bench.SetDomains(*domains)
+	if *domains != "" {
+		if err := bench.ParseDomains(*domains); err != nil {
+			fmt.Fprintf(errw, "evbench: %v\n", err)
+			return exitUsage
+		}
+	}
 	p4.ForceInterpret = *interp
 	switch {
 	case *burst == 0:
@@ -193,7 +199,7 @@ func run(args []string, out, errw io.Writer) int {
 					"binary":   "evbench",
 					"exp":      *exp,
 					"parallel": *par,
-					"pdomains": *domains,
+					"pdomains": bench.DomainsLabel(),
 				}
 			},
 		})

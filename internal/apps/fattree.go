@@ -1,0 +1,93 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/events"
+	"repro/internal/packet"
+	"repro/internal/pisa"
+)
+
+// Fat-tree roles for FatTreeRouter.
+const (
+	FatTreeEdge = iota
+	FatTreeAgg
+	FatTreeCore
+)
+
+// FatTreeConfig places one switch in a k-ary fat tree (Al-Fares et al.)
+// using the canonical 10.pod.edge.host addressing plan:
+//
+//   - k pods, each with k/2 edge and k/2 aggregation switches;
+//     (k/2)^2 core switches in k/2 groups of k/2.
+//   - Edge e in pod p: ports 0..k/2-1 face hosts (host h at port h,
+//     addressed 10.p.e.(2+h)), ports k/2..k-1 face aggs (agg a at port
+//     k/2+a).
+//   - Agg a in pod p: ports 0..k/2-1 face edges (edge e at port e),
+//     ports k/2..k-1 face cores (core a*(k/2)+j at port k/2+j).
+//   - Core c: port p faces pod p (via agg c/(k/2)).
+type FatTreeConfig struct {
+	K    int // pod count; must be even and >= 2
+	Role int // FatTreeEdge, FatTreeAgg, or FatTreeCore
+	Pod  int // pod index (edge/agg roles)
+	Idx  int // edge/agg index within the pod, or global core index
+}
+
+// FatTreeRouter builds the static two-level ECMP routing program for one
+// fat-tree switch: traffic toward the switch's own subtree routes down
+// deterministically by address, everything else hashes up across the
+// available uplinks on the flow hash (so a flow stays on one path).
+// Unlike HULA it keeps no state at all — the fat-tree scale experiments
+// measure the parallel engine, not path adaptivity.
+func FatTreeRouter(cfg FatTreeConfig) *pisa.Program {
+	if cfg.K < 2 || cfg.K%2 != 0 {
+		panic(fmt.Sprintf("apps: fat-tree k=%d must be even and >= 2", cfg.K))
+	}
+	half := cfg.K / 2
+	p := pisa.NewProgram(fmt.Sprintf("fattree-k%d", cfg.K))
+	p.HandleFunc(events.IngressPacket, func(ctx *pisa.Context) {
+		if !ctx.FlowOK {
+			ctx.Drop()
+			return
+		}
+		dst := uint32(ctx.Flow.Dst)
+		pod := int(dst>>16) & 0xff
+		edge := int(dst>>8) & 0xff
+		host := int(dst)&0xff - 2
+		switch cfg.Role {
+		case FatTreeEdge:
+			if pod == cfg.Pod && edge == cfg.Idx {
+				if host < 0 || host >= half {
+					ctx.Drop()
+					return
+				}
+				ctx.EgressPort = host
+				return
+			}
+			ctx.EgressPort = half + int(ctx.Ev.FlowHash%uint64(half))
+		case FatTreeAgg:
+			if pod == cfg.Pod {
+				if edge < 0 || edge >= half {
+					ctx.Drop()
+					return
+				}
+				ctx.EgressPort = edge
+				return
+			}
+			ctx.EgressPort = half + int(ctx.Ev.FlowHash%uint64(half))
+		default: // core
+			if pod < 0 || pod >= cfg.K {
+				ctx.Drop()
+				return
+			}
+			ctx.EgressPort = pod
+		}
+	})
+	return p
+}
+
+// FatTreeHostIP returns the canonical address of host h on edge switch e
+// in pod p.
+func FatTreeHostIP(pod, edge, host int) packet.IP {
+	return packet.IP4(10, byte(pod), byte(edge), byte(2+host))
+}

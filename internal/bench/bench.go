@@ -34,6 +34,19 @@ type PerfSample struct {
 	CyclesPerSec float64 `json:"cycles_per_sec"`
 	// Speedup is relative to the same workload's 1-domain sample.
 	Speedup float64 `json:"speedup,omitempty"`
+	// Efficiency is Speedup divided by the cores the run could actually
+	// use: min(Domains, NumCPU). On a multi-core host this is the
+	// per-core scaling efficiency; on a single core it degenerates to
+	// Speedup (and the barrier metrics below carry the story instead).
+	Efficiency float64 `json:"per_core_efficiency,omitempty"`
+	// Windows and Barriers count the partition's rounds for this run
+	// (zero when single-scheduler).
+	Windows  uint64 `json:"windows,omitempty"`
+	Barriers uint64 `json:"barriers,omitempty"`
+	// BarrierReduction, set on a fabric's widest adaptive sample, is the
+	// classic fixed-width twin's barrier count divided by this run's —
+	// how many synchronization rounds adaptive window batching removed.
+	BarrierReduction float64 `json:"barrier_reduction,omitempty"`
 }
 
 // AddRow appends a formatted row.

@@ -1,6 +1,10 @@
 package bench
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
 
 // withDomains runs fn with the partition-domain knob pinned to n,
 // restoring the previous setting afterwards.
@@ -47,9 +51,27 @@ func TestScaleDigestsMatch(t *testing.T) {
 		}
 	}
 	// One perf sample per row, plus one burst-off oracle sample per
-	// fabric (two fabrics) that never gets a table row.
-	if want := len(res.Rows) + 2; len(res.Perf) != want {
+	// fabric (four fabrics: two leaf-spines, two fat trees) that never
+	// gets a table row.
+	if want := len(res.Rows) + 4; len(res.Perf) != want {
 		t.Errorf("perf samples = %d, want %d (one per row plus one -noburst per fabric)", len(res.Perf), want)
+	}
+	// The latency-diverse fat trees are where adaptive batching must pay:
+	// their widest adaptive sample records the classic twin's barrier
+	// count against its own.
+	for _, label := range []string{"ft4", "ft8"} {
+		found := false
+		for _, s := range res.Perf {
+			if s.Label == label && s.Domains == 4 && s.BarrierReduction > 0 {
+				found = true
+				if s.BarrierReduction < 2 {
+					t.Errorf("%s d4 barrier reduction = %.2fx, want >= 2x over classic fixed-width windows", label, s.BarrierReduction)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: no adaptive d4 sample with barrier_reduction recorded", label)
+		}
 	}
 	// Perf samples are host-dependent and must not leak into the
 	// rendered table: stripping them changes nothing.
@@ -57,6 +79,34 @@ func TestScaleDigestsMatch(t *testing.T) {
 	res.Perf = nil
 	if res.String() != withPerf {
 		t.Error("Result.String renders Perf samples")
+	}
+}
+
+// TestFatTreeScaleSmoke is the reduced fat-tree digest check behind
+// `make scale-smoke`: a short k=4 run (4 full epoch rotations) whose
+// digest must be identical at 1 and 4 domains, with adaptive batching
+// and with the classic fixed-width oracle. Small enough to run under
+// the race detector on every `make check`.
+func TestFatTreeScaleSmoke(t *testing.T) {
+	spec := fatTreeSpec{
+		k: 4, horizon: 4 * sim.Millisecond, slot: 250 * sim.Microsecond,
+		hostRate: 1120 * sim.Mbps, interGap: 150 * sim.Microsecond,
+	}
+	spec.domains = 1
+	base := runFatTree(spec)
+	for _, cfg := range []struct {
+		label   string
+		domains int
+		classic bool
+	}{
+		{"d4 adaptive", 4, false},
+		{"d4 classic", 4, true},
+	} {
+		s := spec
+		s.domains, s.classic = cfg.domains, cfg.classic
+		if got := runFatTree(s); got.ident() != base.ident() {
+			t.Errorf("%s digest %016x != d1 digest %016x", cfg.label, got.digest, base.digest)
+		}
 	}
 }
 

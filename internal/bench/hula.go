@@ -51,6 +51,7 @@ func HULABench() *Result {
 			flows:       12,
 			flowRate:    660 * sim.Mbps,
 			domains:     Domains(),
+			loadAware:   DomainsAuto(),
 			tel:         trialCollector(fmt.Sprintf("hula/t%02d", trial)),
 		})
 		return []string{cfg.name, cfg.period.String(),
@@ -79,9 +80,20 @@ type fabricSpec struct {
 	// domains splits the fabric's switches across that many partition
 	// domains (switch index modulo domains); 1 runs single-scheduler.
 	domains int
+	// classic forces fixed-width conservative windows — the baseline the
+	// adaptive batching protocol is measured against. Output must be
+	// byte-identical either way.
+	classic bool
+	// loadAware assigns switches to domains by measured per-switch cycle
+	// load (a short calibration run + sim.PlanDomains) instead of index
+	// round-robin. Assignment never changes simulation output.
+	loadAware bool
 	// tel, when non-nil, instruments every switch and snapshots link
 	// counters after the run. Byte-identical at every domains value.
 	tel *telemetry.Collector
+	// perSwitch, when non-nil, receives each switch's cycle count after
+	// the run (calibration passes use this as the load signal).
+	perSwitch *[]uint64
 }
 
 // fabricMetrics is what one fabric run measures. digest folds every
@@ -95,6 +107,20 @@ type fabricMetrics struct {
 	cycles       uint64
 	txPackets    uint64
 	digest       uint64
+	// windows and barriers describe the parallel run's coordination shape
+	// (0 when single-scheduler). They are run metadata — they legitimately
+	// vary with domain count and batching mode — so identity checks strip
+	// them (ident).
+	windows  uint64
+	barriers uint64
+}
+
+// ident returns the simulation-identity view of the metrics: everything
+// that must be byte-identical across domain counts, batching modes, and
+// burst modes, with the coordination-shape metadata zeroed.
+func (m fabricMetrics) ident() fabricMetrics {
+	m.windows, m.barriers = 0, 0
+	return m
 }
 
 // runHULAFabric runs a leaf-spine fabric for the spec'd horizon and
@@ -111,15 +137,22 @@ func runHULAFabric(spec fabricSpec) fabricMetrics {
 		spec.domains = nsw
 	}
 
-	// Domain d drives switch indices i with i % domains == d; with
-	// domains 1 everything lands on one scheduler and netsim runs the
-	// classic single-threaded engine.
+	// Domain d drives switch indices i with i % domains == d (or the
+	// load-aware plan's assignment); with domains 1 everything lands on
+	// one scheduler and netsim runs the classic single-threaded engine.
 	var net *netsim.Network
+	var part *sim.Partition
 	schedFor := func(i int) *sim.Scheduler { return net.Scheduler() }
 	if spec.domains > 1 {
-		part := sim.NewPartition(spec.domains)
+		part = sim.NewPartition(spec.domains)
 		net = netsim.NewPartitioned(part)
-		schedFor = func(i int) *sim.Scheduler { return part.Sched(i % spec.domains) }
+		part.SetClassicWindows(spec.classic)
+		if spec.loadAware {
+			assign := planFabricDomains(spec)
+			schedFor = func(i int) *sim.Scheduler { return part.Sched(assign[i]) }
+		} else {
+			schedFor = func(i int) *sim.Scheduler { return part.Sched(i % spec.domains) }
+		}
 	} else {
 		net = netsim.New(sim.NewScheduler())
 	}
@@ -262,6 +295,12 @@ func runHULAFabric(spec fabricSpec) fabricMetrics {
 		m.cycles += st.Cycles
 		m.txPackets += st.TxPackets
 		put(st.RxPackets, st.TxPackets, st.Cycles, st.Generated, st.PipelineDrops)
+		if spec.perSwitch != nil {
+			*spec.perSwitch = append(*spec.perSwitch, st.Cycles)
+		}
+	}
+	if part != nil {
+		m.windows, m.barriers = part.Windows(), part.Barriers()
 	}
 	for _, l := range net.Links() {
 		for dir := 0; dir < 2; dir++ {
@@ -276,4 +315,29 @@ func runHULAFabric(spec fabricSpec) fabricMetrics {
 	}
 	m.digest = dig.Sum64()
 	return m
+}
+
+// planFabricDomains runs a short single-scheduler calibration pass of
+// the spec'd fabric, collects each switch's cycle count as its load
+// weight, and plans the domain assignment with sim.PlanDomains (the
+// ndn-dpdk idiom: allocate cores by measured load, not index
+// arithmetic). The plan is deterministic — same spec, same assignment —
+// and the assignment never changes simulation output, only wall-clock
+// balance.
+func planFabricDomains(spec fabricSpec) []int {
+	cal := spec
+	cal.domains = 1
+	cal.classic, cal.loadAware = false, false
+	cal.tel = nil
+	cal.horizon = spec.horizon / 8
+	if min := 2 * sim.Millisecond; cal.horizon < min {
+		cal.horizon = min
+	}
+	if cal.horizon > spec.horizon {
+		cal.horizon = spec.horizon
+	}
+	var weights []uint64
+	cal.perSwitch = &weights
+	runHULAFabric(cal)
+	return sim.PlanDomains(weights, spec.domains)
 }

@@ -38,8 +38,13 @@ type journalKey struct {
 }
 
 type journalLine struct {
-	// Header line: experiment id (first line of the file).
+	// Header line: experiment id plus the effective -domains setting
+	// (first line of the file). Tables are byte-identical at every domain
+	// count, but Perf samples are not — a campaign resumed under a
+	// different partitioning would silently mix measurement regimes, so
+	// (mirroring the checkpoint config-digest check) the journal refuses.
 	Experiment string `json:"experiment,omitempty"`
+	Domains    string `json:"domains,omitempty"`
 	// Entry lines: one completed trial.
 	Call   int             `json:"call"`
 	Trial  int             `json:"trial"`
@@ -66,6 +71,10 @@ func OpenJournal(path, experiment string) (*Journal, error) {
 				if ln.Experiment != experiment {
 					return nil, fmt.Errorf("bench: journal %s belongs to experiment %q, not %q", path, ln.Experiment, experiment)
 				}
+				if ln.Domains != "" && ln.Domains != DomainsLabel() {
+					return nil, fmt.Errorf("bench: journal %s was recorded with -domains %s; rerun with the same setting or start a new journal (now %s)",
+						path, ln.Domains, DomainsLabel())
+				}
 				continue
 			}
 			if ln.Result != nil {
@@ -83,7 +92,7 @@ func OpenJournal(path, experiment string) (*Journal, error) {
 	if len(j.loaded) == 0 {
 		st, err := f.Stat()
 		if err == nil && st.Size() == 0 {
-			hdr, _ := json.Marshal(journalLine{Experiment: experiment})
+			hdr, _ := json.Marshal(journalLine{Experiment: experiment, Domains: DomainsLabel()})
 			if _, err := f.Write(append(hdr, '\n')); err != nil {
 				f.Close()
 				return nil, fmt.Errorf("bench: writing journal header: %w", err)

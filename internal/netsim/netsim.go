@@ -178,7 +178,7 @@ func (w *wireFIFO) Run() {
 		w.head++
 		w.n.arrive(l, dir, buf)
 		if m != nil {
-			l.mailSpent[dir] = append(l.mailSpent[dir], m)
+			w.n.parkSpent(l, dir, m)
 		} else {
 			w.free = append(w.free, buf)
 		}
@@ -217,7 +217,19 @@ type mailFlight struct {
 // Run implements sim.Runner in the receiving side's domain.
 func (m *mailFlight) Run() {
 	m.n.arrive(m.l, m.dir, m.buf)
-	m.l.mailSpent[m.dir] = append(m.l.mailSpent[m.dir], m)
+	m.n.parkSpent(m.l, m.dir, m)
+}
+
+// parkSpent returns a delivered mailFlight to the link's spent list and
+// puts the (link, direction) on the receiving domain's barrier recycle
+// list. Runs in the receiving side's domain.
+func (n *Network) parkSpent(l *Link, dir int, m *mailFlight) {
+	l.mailSpent[dir] = append(l.mailSpent[dir], m)
+	if !l.spentQueued[dir] {
+		l.spentQueued[dir] = true
+		d := l.domain[1-dir] // receiving side's domain owns this list
+		n.dirtySpent[d] = append(n.dirtySpent[d], mailRef{l: l, dir: dir})
+	}
 }
 
 // Link is a point-to-point connection between two endpoints. Packet
@@ -244,10 +256,19 @@ type Link struct {
 	// the engine-independent tiebreak for same-instant arrivals.
 	wireSeq [2]uint64
 	// sched is the scheduler driving each side (equal unless the link
-	// crosses domains). mail holds frames awaiting barrier exchange.
-	sched [2]*sim.Scheduler
-	cross bool
-	mail  [2][]*mailFlight
+	// crosses domains); domain holds the matching partition domain
+	// indices (0 when unpartitioned). mail holds frames awaiting barrier
+	// exchange; mailQueued/spentQueued track whether the (link,
+	// direction) is already on the network's barrier dirty list, so a
+	// barrier touches only mailboxes that actually received frames.
+	// mailQueued is written only by the sending side's domain,
+	// spentQueued only by the receiving side's.
+	sched       [2]*sim.Scheduler
+	domain      [2]int
+	cross       bool
+	mail        [2][]*mailFlight
+	mailQueued  [2]bool
+	spentQueued [2]bool
 	// mailFree is consumed by the sending domain, mailSpent filled by the
 	// receiving domain; the barrier recycles spent→free (see mailFlight).
 	mailFree  [2][]*mailFlight
@@ -470,6 +491,15 @@ type Network struct {
 
 	hooked bool // barrier hook registered with the partition
 
+	// dirtyMail / dirtySpent are the barrier work lists: (link, direction)
+	// pairs whose mailbox received frames (respectively whose spent list
+	// received used flights) since the last barrier. One list per domain —
+	// each is appended to only by that domain's goroutine during a window
+	// and drained single-threaded at the barrier — so a barrier walks the
+	// mailboxes that changed instead of every cross link in the network.
+	dirtyMail  [][]mailRef
+	dirtySpent [][]mailRef
+
 	// OnLinkChange, when set, observes every Fail and Repair (after the
 	// attached switches saw their LinkStatusChange events). Control-plane
 	// baselines subscribe here to model out-of-band failure detection.
@@ -494,7 +524,15 @@ func New(sched *sim.Scheduler) *Network {
 func NewPartitioned(p *sim.Partition) *Network {
 	n := New(p.Sched(0))
 	n.part = p
+	n.dirtyMail = make([][]mailRef, p.Domains())
+	n.dirtySpent = make([][]mailRef, p.Domains())
 	return n
+}
+
+// mailRef names one direction of one cross link on a barrier dirty list.
+type mailRef struct {
+	l   *Link
+	dir int
 }
 
 // Scheduler returns the network's scheduler (domain 0's when
@@ -572,6 +610,10 @@ func (n *Network) addLink(a, b endpoint, latency sim.Time) *Link {
 	}
 	l.sched[0] = n.schedOf(a, b)
 	l.sched[1] = n.schedOf(b, a)
+	if n.part != nil {
+		l.domain[0] = n.part.Index(l.sched[0])
+		l.domain[1] = n.part.Index(l.sched[1])
+	}
 	l.cross = l.sched[0] != l.sched[1]
 	if l.cross && latency <= 0 {
 		panic("netsim: cross-domain link " + l.String() + " needs positive latency (it bounds the partition lookahead)")
@@ -662,6 +704,11 @@ func (n *Network) propagate(l *Link, dir int, data []byte, delay sim.Time) {
 		m.at, m.seq = at, seq
 		m.buf = append(m.buf[:0], data...)
 		l.mail[dir] = append(l.mail[dir], m)
+		if !l.mailQueued[dir] {
+			l.mailQueued[dir] = true
+			d := l.domain[dir] // sending side's domain owns this list
+			n.dirtyMail[d] = append(n.dirtyMail[d], mailRef{l: l, dir: dir})
+		}
 		return
 	}
 	if l.burstOK && l.impair == nil && l.legacyPending[dir] == 0 {
@@ -710,21 +757,36 @@ func (n *Network) arrive(l *Link, dir int, data []byte) {
 // domains' wire bands. It runs single-threaded at partition barriers —
 // the only phase in which both sides' mail lists may be touched, so this
 // is also where spent flights are recycled back to the senders' free
-// lists.
+// lists. The barrier is incremental: it walks the per-domain dirty lists
+// (filled by propagate and parkSpent during the window) instead of every
+// cross link, so barrier cost scales with the frames actually exchanged,
+// not with fabric size. The delivery order across links does not matter —
+// the wire band is a heap ordered by engine-independent keys — so
+// draining dirty lists domain by domain reproduces the full-scan
+// behavior exactly.
 func (n *Network) drainMail() {
 	obs := self.On()
-	for _, l := range n.links {
-		if !l.cross {
-			continue
-		}
-		for dir := 0; dir < 2; dir++ {
-			if spent := l.mailSpent[dir]; len(spent) > 0 {
-				l.mailFree[dir] = append(l.mailFree[dir], spent...)
-				for i := range spent {
-					spent[i] = nil
-				}
-				l.mailSpent[dir] = spent[:0]
+	for d := range n.dirtySpent {
+		refs := n.dirtySpent[d]
+		for i, r := range refs {
+			l, dir := r.l, r.dir
+			spent := l.mailSpent[dir]
+			l.mailFree[dir] = append(l.mailFree[dir], spent...)
+			for j := range spent {
+				spent[j] = nil
 			}
+			l.mailSpent[dir] = spent[:0]
+			l.spentQueued[dir] = false
+			refs[i] = mailRef{}
+		}
+		n.dirtySpent[d] = refs[:0]
+	}
+	for d := range n.dirtyMail {
+		refs := n.dirtyMail[d]
+		for i, r := range refs {
+			l, dir := r.l, r.dir
+			l.mailQueued[dir] = false
+			refs[i] = mailRef{}
 			box := l.mail[dir]
 			if len(box) == 0 {
 				continue
@@ -744,9 +806,9 @@ func (n *Network) drainMail() {
 				// parks each mailFlight on mailSpent as usual.
 				w := l.fifo[dir]
 				idle := w.head == len(w.q)
-				for i, m := range box {
+				for j, m := range box {
 					w.q = append(w.q, wireEntry{at: m.at, seq: m.seq, buf: m.buf, m: m})
-					box[i] = nil
+					box[j] = nil
 				}
 				if idle {
 					h := &w.q[w.head]
@@ -755,19 +817,22 @@ func (n *Network) drainMail() {
 				l.mail[dir] = box[:0]
 				continue
 			}
-			for i, m := range box {
+			for j, m := range box {
 				dst.AtWireRunner(m.at, key, m.seq, m)
-				box[i] = nil
+				box[j] = nil
 			}
 			l.mail[dir] = box[:0]
 		}
+		n.dirtyMail[d] = refs[:0]
 	}
 }
 
 // Run advances the simulation to until: the partition's window loop when
-// partitioned, a plain scheduler run otherwise. On the first partitioned
-// Run it computes the lookahead (minimum cross-domain link latency) and
-// registers the mailbox exchange at the partition's barriers.
+// partitioned, a plain scheduler run otherwise. On each partitioned Run
+// it computes the lookahead (minimum cross-domain link latency),
+// installs the per-domain-pair latency matrix that drives the
+// partition's adaptive window edges, and registers the mailbox exchange
+// at the partition's barriers (first Run only).
 func (n *Network) Run(until sim.Time) {
 	if n.part == nil {
 		n.sched.Run(until)
@@ -785,6 +850,8 @@ func (n *Network) Run(until sim.Time) {
 		if l.latency < lookahead {
 			lookahead = l.latency
 		}
+		n.part.SetCrossLatency(l.domain[0], l.domain[1], l.latency)
+		n.part.SetCrossLatency(l.domain[1], l.domain[0], l.latency)
 	}
 	n.part.SetLookahead(lookahead)
 	if !n.hooked {

@@ -1,7 +1,7 @@
 package sim
 
 import (
-	"sync"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -13,22 +13,64 @@ import (
 // simulated components that interact with the other domains only through
 // messages carrying at least Lookahead of virtual latency. Run advances
 // every domain in bounded windows — each domain executes on its own
-// goroutine up to the window edge, then all domains synchronize at a
+// goroutine up to its window edge, then all domains synchronize at a
 // barrier where cross-domain messages are exchanged (the OnBarrier
 // hooks; netsim drains its link mailboxes there).
 //
-// The window edge is min(nextEvent)+Lookahead: no event a domain executes
-// inside the window can cause an effect in another domain before the
-// edge, so every domain sees all of its inputs for the window before the
-// window starts. Combined with the scheduler wire band (arrivals ordered
-// by engine-independent keys, before same-time local events), a
-// partitioned run executes exactly the event sequence the single-
-// scheduler run would — byte-identical output at any domain count.
+// Window edges are adaptive (DESIGN.md §16). A domain's edge is the
+// earliest instant any pending work anywhere could deliver an effect to
+// it: min over domains o of next(o) + dist(o→d), where next(o) is o's
+// earliest pending event at the barrier and dist is the all-pairs
+// shortest path over minimum cross-domain latencies (the per-pair matrix
+// installed with SetCrossLatency, or the global Lookahead for every pair
+// when no matrix is installed). The closure is what makes the bound
+// sound: an effect may chain through intermediate domains — o wakes q,
+// q's reply reaches d — and each crossing costs at least the pair's
+// matrix entry, while intra-domain processing is conservatively free.
+// The o = d term uses the shortest cycle through d: a domain's own sends
+// can come back to it as replies, so a busy domain surrounded by idle
+// ones may run ahead exactly one round trip, not to the horizon. When
+// the other domains are idle or far away, one window batches what the
+// fixed-width protocol would have split across many barrier rounds;
+// when they are close, the edge degenerates to the classic
+// min(next)+Lookahead, never below it (every path crosses at least one
+// link, so dist ≥ Lookahead everywhere). Combined with the scheduler
+// wire band (arrivals ordered by engine-independent keys, before
+// same-time local events), a partitioned run executes exactly the event
+// sequence the single-scheduler run would — byte-identical output at
+// any domain count.
 type Partition struct {
 	scheds    []*Scheduler
 	lookahead Time
-	barriers  []func()
-	windows   uint64 // conservative windows executed (telemetry)
+	// cross[o][d] is the minimum latency of a direct o→d cross-domain
+	// interaction; Forever = the pair cannot interact directly. nil means
+	// no matrix was installed and every pair is assumed reachable at
+	// lookahead (the conservative default for callers that exchange
+	// messages through their own OnBarrier hooks).
+	cross [][]Time
+	// dist is the shortest-path closure of cross (recomputed when the
+	// matrix changes); cyc[d] is the shortest cycle through d — the
+	// minimum round trip a domain's own sends need to come back to it.
+	dist      [][]Time
+	cyc       []Time
+	distDirty bool
+	// classic forces fixed-width conservative windows (min(next)+lookahead
+	// for every domain) instead of adaptive per-domain edges. The batched
+	// and classic protocols execute the identical event sequence — classic
+	// mode exists as the differential oracle for that claim and as the
+	// baseline for barrier-reduction measurements.
+	classic  bool
+	barriers []func()
+	// barrierCount counts synchronization points across Run calls
+	// (coordinator-only writes; read between Runs).
+	barrierCount uint64
+	// windows counts coordinator window rounds. Atomic so mid-run
+	// observers (an evsim checkpoint event firing inside a window) can
+	// read it while the coordinator loops.
+	windows atomic.Uint64
+
+	next  []Time // scratch: per-domain earliest pending event at a barrier
+	edges []Time // scratch: per-domain window edge
 }
 
 // NewPartition builds a partition of n fresh schedulers (n >= 1).
@@ -59,14 +101,94 @@ func (p *Partition) Index(s *Scheduler) int {
 	return -1
 }
 
-// SetLookahead sets the window width: the minimum virtual latency of any
-// cross-domain interaction. With more than one domain it must be
-// positive before Run (netsim computes it as the minimum cross-domain
-// link latency).
+// SetLookahead sets the conservative window width: the minimum virtual
+// latency of any cross-domain interaction. With more than one domain it
+// must be positive before Run (netsim computes it as the minimum
+// cross-domain link latency). It bounds every domain pair when no
+// per-pair matrix is installed, and remains the floor of every edge when
+// one is.
 func (p *Partition) SetLookahead(d Time) { p.lookahead = d }
 
 // Lookahead returns the configured window width.
 func (p *Partition) Lookahead() Time { return p.lookahead }
+
+// SetCrossLatency records the minimum virtual latency of a direct
+// src→dst cross-domain interaction, tightening (never loosening) any
+// previously recorded value. Installing the matrix upgrades the window
+// protocol from one global conservative width to per-domain adaptive
+// edges: a domain is bounded only by the domains that can actually send
+// to it, at their actual minimum latencies, and pairs never recorded
+// cannot interact at all. netsim installs the matrix from its
+// cross-domain link latencies; SetLookahead is still required.
+func (p *Partition) SetCrossLatency(src, dst int, lat Time) {
+	if lat <= 0 {
+		panic("sim: cross-domain latency must be positive")
+	}
+	if src == dst {
+		return
+	}
+	if p.cross == nil {
+		p.cross = make([][]Time, len(p.scheds))
+		for i := range p.cross {
+			row := make([]Time, len(p.scheds))
+			for j := range row {
+				row[j] = Forever
+			}
+			p.cross[i] = row
+		}
+	}
+	if lat < p.cross[src][dst] {
+		p.cross[src][dst] = lat
+		p.distDirty = true
+	}
+}
+
+// closure (re)computes the all-pairs shortest-path matrix over the
+// recorded cross latencies (Floyd–Warshall; domain counts are small) and
+// each domain's shortest cycle. Runs at Run start when the matrix
+// changed, never mid-window.
+func (p *Partition) closure() {
+	n := len(p.scheds)
+	if p.dist == nil {
+		p.dist = make([][]Time, n)
+		for i := range p.dist {
+			p.dist[i] = make([]Time, n)
+		}
+		p.cyc = make([]Time, n)
+	}
+	for i := range p.dist {
+		copy(p.dist[i], p.cross[i])
+		p.dist[i][i] = Forever // self-distance tracked separately as cyc
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if p.dist[i][k] == Forever {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				if d := satAdd(p.dist[i][k], p.dist[k][j]); d < p.dist[i][j] {
+					p.dist[i][j] = d
+				}
+			}
+		}
+	}
+	for d := 0; d < n; d++ {
+		c := Forever
+		for o := 0; o < n; o++ {
+			if o == d {
+				continue
+			}
+			if r := satAdd(p.dist[d][o], p.dist[o][d]); r < c {
+				c = r
+			}
+		}
+		p.cyc[d] = c
+	}
+	p.distDirty = false
+}
 
 // OnBarrier registers fn to run single-threaded at every synchronization
 // point (before the first window, between windows, and after the last),
@@ -76,46 +198,259 @@ func (p *Partition) Lookahead() Time { return p.lookahead }
 func (p *Partition) OnBarrier(fn func()) { p.barriers = append(p.barriers, fn) }
 
 func (p *Partition) barrier() {
+	p.barrierCount++
 	for _, fn := range p.barriers {
 		fn()
 	}
+	if self.On() {
+		self.PartBarriers.Inc()
+	}
 }
 
-// windowCmd tells a domain worker to advance to edge: strictly before it
-// when incl is false, through it (clock settling at edge) when true.
-type windowCmd struct {
-	edge Time
-	incl bool
+// SetClassicWindows(true) disables adaptive window batching: every
+// window uses the fixed conservative width min(next)+Lookahead, the
+// protocol the adaptive edges strictly improve on. Both modes execute
+// the identical event sequence; classic mode is the differential oracle
+// for that claim and the baseline for barrier-reduction measurements.
+func (p *Partition) SetClassicWindows(on bool) { p.classic = on }
+
+// Barriers returns the number of synchronization points executed across
+// all Run calls: the direct measure of the cross-domain coordination the
+// adaptive protocol removes. Like Windows it depends on the domain
+// count, lookahead, and batching mode, so it belongs in run metadata,
+// never in exports compared across domain counts.
+func (p *Partition) Barriers() uint64 { return p.barrierCount }
+
+// scanNext records every domain's earliest pending instant (Forever when
+// idle) and returns the minimum. Runs at a barrier, after the exchange
+// hooks, so mailboxed frames already delivered onto a domain's wire band
+// are part of its next.
+func (p *Partition) scanNext() Time {
+	s := Forever
+	for i, d := range p.scheds {
+		at, ok := d.NextAt()
+		if !ok {
+			at = Forever
+		}
+		p.next[i] = at
+		if at < s {
+			s = at
+		}
+	}
+	return s
 }
 
-// workers spawns one persistent goroutine per domain for the duration of a
-// Run call. A run executes thousands of conservative windows; spawning a
-// goroutine per domain per window (the previous scheme) allocated a stack
-// and scheduler slot each time, dominating the malloc profile of
-// partitioned runs. The workers block on their command channel between
-// windows and exit when it closes.
-func (p *Partition) workers(fired *atomic.Uint64, winWG *sync.WaitGroup) []chan windowCmd {
-	cmds := make([]chan windowCmd, len(p.scheds))
+// satAdd adds a non-negative delta to a time, saturating at Forever.
+func satAdd(a, b Time) Time {
+	if c := a + b; c >= a {
+		return c
+	}
+	return Forever
+}
+
+// computeEdges fills p.edges with each domain's window edge, clamped to
+// until: the earliest instant any pending work anywhere could deliver a
+// cross-domain effect to it, via any chain of crossings (the dist
+// closure; the global lookahead single-hop / double-hop bound when no
+// matrix is installed). A domain bounds itself only through the shortest
+// cycle back to it — its own events are sequential on its own
+// goroutine, but their replies are not.
+func (p *Partition) computeEdges(until Time) {
+	n := len(p.scheds)
+	for d := 0; d < n; d++ {
+		edge := Forever
+		for o := 0; o < n; o++ {
+			if p.next[o] == Forever {
+				continue
+			}
+			var lat Time
+			switch {
+			case o == d && p.dist != nil:
+				lat = p.cyc[d]
+			case o == d:
+				lat = satAdd(p.lookahead, p.lookahead)
+			case p.dist != nil:
+				lat = p.dist[o][d]
+			default:
+				lat = p.lookahead
+			}
+			if lat == Forever {
+				continue
+			}
+			if a := satAdd(p.next[o], lat); a < edge {
+				edge = a
+			}
+		}
+		if edge > until {
+			edge = until
+		}
+		p.edges[d] = edge
+	}
+}
+
+// gateWorker is one domain's slot in the epoch gate. The coordinator
+// writes edge/incl/stop before bumping the gate epoch (the atomic bump
+// publishes them); parked and wake implement the park/wake protocol in
+// epochGate.
+type gateWorker struct {
+	edge   Time
+	incl   bool
+	stop   bool
+	parked atomic.Bool
+	wake   chan struct{}
+}
+
+// epochGate synchronizes the coordinator with the persistent domain
+// workers without a per-window channel broadcast: releasing a window is
+// one atomic add (plus a wake for any worker that parked), and workers
+// that finish early spin briefly before parking, so back-to-back windows
+// on a multi-core host cost a fence, not a scheduler round-trip.
+//
+// Protocol: the coordinator writes every worker's command, stores the
+// outstanding count in done, bumps epoch, then wakes parked workers.
+// Workers wait for epoch to reach their round number, run their window,
+// and decrement done; the last one wakes the coordinator if it parked.
+// Both waits use the eventcount discipline — publish the parked flag,
+// re-check the condition, only then block — so a wake can never be lost;
+// tokens are buffered and sends non-blocking, so a stale token at worst
+// causes one spurious wake, which the re-check loop absorbs.
+type epochGate struct {
+	epoch   atomic.Uint64
+	done    atomic.Int64
+	parked  atomic.Bool // coordinator parked
+	wake    chan struct{}
+	workers []*gateWorker
+	spin    bool // busy-wait briefly before parking (multi-core only)
+}
+
+// spinBudget bounds the busy-wait before a waiter parks. Spinning only
+// pays when another core can be making progress toward the condition.
+const spinBudget = 3000
+
+func newEpochGate(n int) *epochGate {
+	g := &epochGate{
+		wake:    make(chan struct{}, 1),
+		workers: make([]*gateWorker, n),
+		spin:    runtime.GOMAXPROCS(0) > 1,
+	}
+	for i := range g.workers {
+		g.workers[i] = &gateWorker{wake: make(chan struct{}, 1)}
+	}
+	return g
+}
+
+// release publishes the commands already written into the workers and
+// opens the next window round.
+func (g *epochGate) release() {
+	g.done.Store(int64(len(g.workers)))
+	g.epoch.Add(1)
+	for _, w := range g.workers {
+		if w.parked.Load() {
+			select {
+			case w.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// awaitEpoch blocks worker w until the gate epoch reaches target.
+func (g *epochGate) awaitEpoch(w *gateWorker, target uint64) {
+	if g.spin {
+		for i := 0; i < spinBudget; i++ {
+			if g.epoch.Load() >= target {
+				return
+			}
+		}
+	}
+	for {
+		if g.epoch.Load() >= target {
+			return
+		}
+		w.parked.Store(true)
+		if g.epoch.Load() >= target {
+			w.parked.Store(false)
+			select { // drop the token a racing release may have sent
+			case <-w.wake:
+			default:
+			}
+			return
+		}
+		<-w.wake
+		w.parked.Store(false)
+	}
+}
+
+// awaitDone blocks the coordinator until every worker finished its
+// window.
+func (g *epochGate) awaitDone() {
+	if g.spin {
+		for i := 0; i < spinBudget; i++ {
+			if g.done.Load() == 0 {
+				return
+			}
+		}
+	}
+	for {
+		if g.done.Load() == 0 {
+			return
+		}
+		g.parked.Store(true)
+		if g.done.Load() == 0 {
+			g.parked.Store(false)
+			select {
+			case <-g.wake:
+			default:
+			}
+			return
+		}
+		<-g.wake
+		g.parked.Store(false)
+	}
+}
+
+// finish is a worker's window-complete notification.
+func (g *epochGate) finish() {
+	if g.done.Add(-1) == 0 && g.parked.Load() {
+		select {
+		case g.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// shutdown releases the workers one last time with stop set; they exit
+// without reporting back.
+func (g *epochGate) shutdown() {
+	for _, w := range g.workers {
+		w.stop = true
+	}
+	g.release()
+}
+
+// startWorkers spawns one persistent goroutine per domain for the
+// duration of a Run call. The workers live across every window of the
+// run, blocked on the epoch gate between windows, and exit on shutdown.
+func (p *Partition) startWorkers(g *epochGate, fired *atomic.Uint64) {
 	for i, s := range p.scheds {
-		ch := make(chan windowCmd, 1)
-		cmds[i] = ch
-		go func(domain int, s *Scheduler, ch chan windowCmd) {
-			// Barrier-stall accounting: a domain that finishes its window
-			// early sits blocked on ch until every other domain reaches the
-			// barrier and the coordinator issues the next window. The time
-			// between winWG.Done and the next command arriving is this
-			// domain's stall — the load-imbalance number the ROADMAP's
-			// -domains scaling item needs. Wall-clock only; never observed
-			// by simulation code.
+		go func(domain int, s *Scheduler, w *gateWorker) {
+			// Barrier-stall accounting: the time between finishing a
+			// window and receiving the next epoch is this domain's stall —
+			// the load-imbalance number the -domains scaling work needs.
+			// Wall-clock only; never observed by simulation code.
 			var idleSince time.Time
-			for c := range ch {
+			for round := uint64(1); ; round++ {
+				g.awaitEpoch(w, round)
+				if w.stop {
+					return
+				}
 				if obs := self.On(); obs && !idleSince.IsZero() {
 					self.DomainStallNS(domain).Add(uint64(time.Since(idleSince).Nanoseconds()))
 				}
-				if c.incl {
-					fired.Add(s.Run(c.edge))
+				if w.incl {
+					fired.Add(s.Run(w.edge))
 				} else {
-					fired.Add(s.RunBefore(c.edge))
+					fired.Add(s.RunBefore(w.edge))
 				}
 				if self.On() {
 					self.DomainWindows(domain).Inc()
@@ -123,30 +458,29 @@ func (p *Partition) workers(fired *atomic.Uint64, winWG *sync.WaitGroup) []chan 
 				} else {
 					idleSince = time.Time{}
 				}
-				winWG.Done()
+				g.finish()
 			}
-		}(i, s, ch)
+		}(i, s, g.workers[i])
 	}
-	return cmds
 }
 
 // Run advances all domains to until, leaving every domain clock at until
 // (mirroring Scheduler.Run). It returns the number of events executed
 // across all domains.
 //
-// Window protocol: at each iteration the barrier hooks run (delivering
-// any cross-domain messages produced by the previous window), then
-// S = min over domains of the next pending event time. The window edge
-// is E = min(S+lookahead, until): events executed in [S, E) can only
-// affect other domains at or after S+lookahead >= E, so the window is
-// causally closed. The loop ends when S >= until; a final inclusive pass
-// executes events at exactly until (their cross-domain effects land at
-// or after until+lookahead and stay mailboxed for a later Run, exactly
-// as the single-scheduler run would leave them pending).
+// Window protocol: at each round the barrier hooks run (delivering any
+// cross-domain messages produced by the previous window — a message's
+// arrival never precedes its receiver's edge, so delivery is always in
+// the receiver's future), then every domain's earliest pending instant
+// is scanned and per-domain edges are computed (computeEdges). The loop
+// ends when no domain holds an event before until; a final inclusive
+// pass executes events at exactly until (their cross-domain effects land
+// at or after until plus the pair latency and stay mailboxed for a later
+// Run, exactly as the single-scheduler run would leave them pending).
 func (p *Partition) Run(until Time) uint64 {
 	if len(p.scheds) == 1 {
 		p.barrier()
-		p.windows++
+		p.windows.Add(1)
 		n := p.scheds[0].Run(until)
 		p.barrier()
 		if self.On() {
@@ -162,47 +496,60 @@ func (p *Partition) Run(until Time) uint64 {
 	if self.On() {
 		self.SetDomains(len(p.scheds))
 	}
-	var fired atomic.Uint64
-	var winWG sync.WaitGroup
-	cmds := p.workers(&fired, &winWG)
-	defer func() {
-		for _, ch := range cmds {
-			close(ch)
-		}
-	}()
-	// runWindow broadcasts one window to every worker and waits for all of
-	// them; the WaitGroup is re-armed only after Wait returns, so reuse
-	// across windows is race-free.
-	runWindow := func(edge Time, incl bool) {
-		winWG.Add(len(cmds))
-		for _, ch := range cmds {
-			ch <- windowCmd{edge, incl}
-		}
-		winWG.Wait()
+	if len(p.next) != len(p.scheds) {
+		p.next = make([]Time, len(p.scheds))
+		p.edges = make([]Time, len(p.scheds))
 	}
+	if p.distDirty {
+		p.closure()
+	}
+	var fired atomic.Uint64
+	g := newEpochGate(len(p.scheds))
+	p.startWorkers(g, &fired)
+	defer g.shutdown()
 	for {
 		p.barrier()
-		s := Forever
-		for _, d := range p.scheds {
-			if at, ok := d.NextAt(); ok && at < s {
-				s = at
-			}
-		}
+		s := p.scanNext()
 		if s >= until {
 			break
 		}
-		edge := until
+		p.windows.Add(1)
+		classic := until
 		if p.lookahead < until-s {
-			edge = s + p.lookahead
+			classic = s + p.lookahead
 		}
-		p.windows++
-		runWindow(edge, false)
+		if p.classic {
+			for i := range p.edges {
+				p.edges[i] = classic
+			}
+		} else {
+			p.computeEdges(until)
+		}
+		minEdge, batched := Forever, false
+		for i, w := range g.workers {
+			w.edge, w.incl = p.edges[i], false
+			if p.edges[i] < minEdge {
+				minEdge = p.edges[i]
+			}
+			if p.edges[i] > classic {
+				batched = true
+			}
+		}
+		g.release()
+		g.awaitDone()
 		if self.On() {
-			self.SimNowPS.Set(int64(edge))
+			self.SimNowPS.Set(int64(minEdge))
+			if batched {
+				self.PartBatchedWindows.Inc()
+			}
 		}
 	}
-	p.windows++
-	runWindow(until, true)
+	p.windows.Add(1)
+	for _, w := range g.workers {
+		w.edge, w.incl = until, true
+	}
+	g.release()
+	g.awaitDone()
 	p.barrier()
 	if self.On() {
 		self.SimNowPS.Set(int64(until))
@@ -210,9 +557,10 @@ func (p *Partition) Run(until Time) uint64 {
 	return fired.Load()
 }
 
-// Windows returns the number of conservative windows executed across all
-// Run calls (1 per Run in the single-domain fast path). With per-domain
+// Windows returns the number of window rounds executed across all Run
+// calls (1 per Run in the single-domain fast path). With per-domain
 // Fired() counts it describes the parallel run's shape for telemetry;
-// window counts depend on the domain count and lookahead, so they belong
-// in run metadata, not in exports compared across domain counts.
-func (p *Partition) Windows() uint64 { return p.windows }
+// window counts depend on the domain count, lookahead, and batching, so
+// they belong in run metadata, not in exports compared across domain
+// counts.
+func (p *Partition) Windows() uint64 { return p.windows.Load() }

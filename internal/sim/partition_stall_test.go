@@ -10,15 +10,19 @@ import (
 // TestPartitionBarrierAccounting pins the partition's self-metric
 // accounting against a hand-computed window schedule. Two domains,
 // lookahead 25, domain 0 holding events at t = 0, 10, ..., 90, Run(100):
-// the window protocol opens exclusive windows at edges 25 (events 0, 10,
-// 20), 55 (30, 40, 50), 85 (60, 70, 80), 100 (90 — lookahead reaches
-// past the horizon so the edge clamps to until), then the final inclusive
-// window at 100. That is 5 windows, counted once in Partition.Windows
-// and once per domain in the self-metric counters. Domain 1 is empty, so
-// while domain 0 grinds through its (deliberately slowed) events, domain
-// 1 sits at the barrier — its stall counter must come back non-zero,
-// wall-clock time that never touches simulation state. Run under -race
-// this also proves the accounting in the worker goroutines is clean.
+// the adaptive protocol sees domain 1 idle at the first barrier, so
+// domain 0 is bounded only by its own round trip (2×lookahead = 50) and
+// batches events 0..40 into one window, then 50..90 into a second —
+// where the fixed-width protocol needed four rounds — followed by the
+// final inclusive pass. That is 3 windows (counted once in
+// Partition.Windows and once per domain in the self-metric counters), 4
+// barriers (before the first window, between windows, at the loop's
+// exit scan, after the final pass), and two windows whose edge beat the
+// classic min(next)+lookahead bound. Domain 1 finishes its windows
+// instantly while domain 0 grinds through its (deliberately slowed)
+// events, so its stall counter must come back non-zero — wall-clock
+// time that never touches simulation state. Run under -race this also
+// proves the accounting in the worker goroutines is clean.
 func TestPartitionBarrierAccounting(t *testing.T) {
 	self.Reset()
 	self.Enable()
@@ -41,9 +45,15 @@ func TestPartitionBarrierAccounting(t *testing.T) {
 	if n != 10 || fired != 10 {
 		t.Fatalf("ran %d events (callback saw %d), want 10", n, fired)
 	}
-	const wantWindows = 5
+	const wantWindows = 3
 	if got := p.Windows(); got != wantWindows {
 		t.Errorf("Partition.Windows() = %d, want %d", got, wantWindows)
+	}
+	if got := self.PartBarriers.Value(); got != 4 {
+		t.Errorf("self.PartBarriers = %d, want 4", got)
+	}
+	if got := self.PartBatchedWindows.Value(); got != 2 {
+		t.Errorf("self.PartBatchedWindows = %d, want 2 (domain 0's edge should batch to its round trip)", got)
 	}
 	if got := self.Domains(); got != 2 {
 		t.Errorf("self.Domains() = %d, want 2", got)
@@ -53,13 +63,50 @@ func TestPartitionBarrierAccounting(t *testing.T) {
 			t.Errorf("domain %d window count = %d, want %d", d, got, wantWindows)
 		}
 	}
-	// Domain 1 finishes each window instantly and waits ~1ms+ for domain
-	// 0 at every barrier after the first; anything non-zero proves the
-	// stall clock ran, the 1ms floor proves it measured real waiting.
+	// Domain 1 finishes each window instantly and waits ~10ms for domain
+	// 0 before the final pass; anything non-zero proves the stall clock
+	// ran, the 1ms floor proves it measured real waiting.
 	if got := self.DomainStallNS(1).Value(); got < uint64(time.Millisecond.Nanoseconds()) {
 		t.Errorf("domain 1 barrier stall = %dns, want >= 1ms of accumulated waiting", got)
 	}
 	if got := self.SimNowPS.Value(); got != 100 {
 		t.Errorf("self.SimNowPS = %d, want 100", got)
+	}
+}
+
+// TestPartitionBatchingBounded pins the other side of the adaptive
+// protocol: when every domain holds nearby work, edges collapse to the
+// classic conservative width and batching must NOT engage. Two domains,
+// lookahead 10, both holding events every 10 units: each round's edge is
+// exactly min(next)+lookahead, so the window count matches the
+// fixed-width protocol's.
+func TestPartitionBatchingBounded(t *testing.T) {
+	self.Reset()
+	self.Enable()
+	defer func() {
+		self.Disable()
+		self.Reset()
+	}()
+
+	p := NewPartition(2)
+	p.SetLookahead(10)
+	var fired [2]int // one slot per domain: no cross-goroutine writes
+	for i := 0; i < 10; i++ {
+		at := Time(i * 10)
+		p.Sched(0).At(at, func() { fired[0]++ })
+		p.Sched(1).At(at, func() { fired[1]++ })
+	}
+	p.Run(100)
+	if fired[0] != 10 || fired[1] != 10 {
+		t.Fatalf("fired = %v, want 10 per domain", fired)
+	}
+	// Rounds: edges advance by exactly one lookahead per barrier —
+	// windows at edges 10, 20, ..., 100 (exclusive) plus the final
+	// inclusive pass = 11, exactly the fixed-width schedule.
+	if got := p.Windows(); got != 11 {
+		t.Errorf("Partition.Windows() = %d, want 11 (no batching when both domains stay busy)", got)
+	}
+	if got := self.PartBatchedWindows.Value(); got != 0 {
+		t.Errorf("self.PartBatchedWindows = %d, want 0", got)
 	}
 }

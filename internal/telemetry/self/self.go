@@ -190,6 +190,15 @@ var (
 	// barriers.
 	MailFrames Counter
 
+	// PartBarriers counts partition synchronization barriers (one per
+	// coordinator round); PartBatchedWindows counts the windows whose
+	// span exceeded one conservative lookahead — the adaptive batching
+	// actually engaging. Together with the per-domain window counters
+	// they measure barrier pressure: barriers / simulated time is the
+	// number the batching work exists to push down.
+	PartBarriers       Counter
+	PartBatchedWindows Counter
+
 	// TrialsTotal/TrialsDone track experiment campaign progress
 	// (bench.RunParallel).
 	TrialsTotal Counter
@@ -245,6 +254,7 @@ func Reset() {
 	for _, c := range []*Counter{
 		&SchedDispatch, &SchedLaneArms, &SchedAuxArms,
 		&CheckpointBytes, &MailFrames,
+		&PartBarriers, &PartBatchedWindows,
 		&TrialsTotal, &TrialsDone,
 		&StreamFlushes, &StreamRecords, &StreamLost, &Scrapes,
 	} {
@@ -322,6 +332,8 @@ func Snapshot() []Sample {
 		gauge("self.domains", &domains),
 		counter("self.http.scrapes", &Scrapes),
 		counter("self.mail.frames", &MailFrames),
+		counter("self.part.barriers", &PartBarriers),
+		counter("self.part.batched_windows", &PartBatchedWindows),
 		{Name: "self.pool.high_water", Kind: "gauge", Value: PoolInUse.High()},
 		{Name: "self.pool.in_use", Kind: "gauge", Value: PoolInUse.Cur()},
 		counter("self.sched.aux_arms", &SchedAuxArms),
